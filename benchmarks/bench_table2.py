@@ -1,0 +1,16 @@
+"""Regenerates Table 2: dynamic paths vs unique path heads."""
+
+from conftest import emit
+
+from repro.experiments import build_table2, render_table2
+
+
+def test_table2(benchmark, full_traces, results_dir):
+    rows = benchmark.pedantic(
+        build_table2, kwargs={"traces": full_traces}, rounds=1, iterations=1
+    )
+    emit(results_dir, "table2", render_table2(rows))
+
+    for row in rows:
+        assert row.num_paths == row.paper_paths, row.benchmark
+        assert row.num_heads == row.paper_heads, row.benchmark

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates every table and figure of the paper at full
+calibrated scale.  Traces and the (expensive, shared) Figure 2/3 sweep
+are built once per session; each bench times its own experiment once
+(``benchmark.pedantic`` with a single round — these are minutes-scale
+scientific computations, not microbenchmarks) and writes the rendered
+artifact to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import benchmark_traces, build_figure2
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_traces():
+    """All nine benchmark traces at full calibrated flow."""
+    return benchmark_traces()
+
+
+@pytest.fixture(scope="session")
+def sweep_curves(full_traces):
+    """The Figure 2/3 delay sweep (shared between both figures)."""
+    return build_figure2(traces=full_traces)
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one experiment's artifact and echo it."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,86 @@
+"""Building a custom workload and sweeping the prediction delay.
+
+Shows the workload API the benchmark surrogates are built from: region
+templates (loops with tail distributions, nests) assembled into a
+schedule, then a τ sweep that traces out the hit/noise trade-off of
+paper §5 for both schemes on *your* workload.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.experiments import sweep_trace
+from repro.experiments.report import render_table
+from repro.metrics import hot_path_set
+from repro.workloads import (
+    RegionSpec,
+    Workload,
+    WorkloadConfig,
+)
+
+
+def build_workload() -> Workload:
+    """A small program: two hot kernels + a diverse cold library."""
+    regions = []
+    # Kernel 1: a dominant inner loop (one tail takes ~2/3 of the flow).
+    regions.append(RegionSpec(
+        kind="loop", num_tails=3, tail_skew=1.5, iters_mean=800,
+        weight=5.0,
+    ))
+    # Kernel 2: a nest of depth 3 (matmul-like).
+    regions.append(RegionSpec(
+        kind="nest", depth=3, outer_iters_mean=12, iters_mean=200,
+        weight=3.0,
+    ))
+    # A cold library: forty little loops with four variants each.
+    for _ in range(40):
+        regions.append(RegionSpec(
+            kind="loop", num_tails=4, tail_skew=0.3, iters_mean=10,
+            weight=0.02,
+        ))
+    config = WorkloadConfig(
+        name="custom", seed=123, target_flow=400_000, regions=regions
+    )
+    return Workload(config)
+
+
+def main() -> None:
+    workload = build_workload()
+    trace = workload.trace()
+    hot = hot_path_set(trace, fraction=0.001)
+    print(f"{trace.name}: flow={trace.flow:,} paths={trace.num_paths} "
+          f"hot={hot.num_hot} (%flow={hot.captured_flow_percent:.1f})\n")
+
+    delays = (1, 10, 50, 200, 1000, 5000, 20000, 100000)
+    points = sweep_trace(trace, hot=hot, delays=delays)
+
+    rows = []
+    for delay in delays:
+        cells = {p.scheme: p for p in points if p.delay == delay}
+        pp, net = cells["path-profile"], cells["net"]
+        rows.append([
+            delay,
+            f"{pp.profiled_flow_percent:.2f}",
+            f"{pp.hit_rate:.2f}",
+            f"{pp.noise_rate:.2f}",
+            f"{net.profiled_flow_percent:.2f}",
+            f"{net.hit_rate:.2f}",
+            f"{net.noise_rate:.2f}",
+        ])
+    print(render_table(
+        headers=[
+            "τ",
+            "pp prof%", "pp hit%", "pp noise%",
+            "net prof%", "net hit%", "net noise%",
+        ],
+        rows=rows,
+        title="Prediction-delay sweep (the Figure 2/3 measurement)",
+    ))
+    print(
+        "\nNote how the hit rate decays as the profiled flow grows — the "
+        "missed\nopportunity cost of delaying predictions — while the "
+        "noise decays much\nfaster: the paper's case for small τ."
+    )
+
+
+if __name__ == "__main__":
+    main()

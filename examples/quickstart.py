@@ -1,0 +1,42 @@
+"""Quickstart: hot-path prediction on one benchmark surrogate.
+
+Loads the compress surrogate, runs the paper's two prediction schemes at
+the Dynamo operating point (τ = 50), and scores both with the abstract
+metrics of §3 — hit rate, noise, missed opportunity cost — plus the
+counter-space comparison of §5.2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.metrics import counter_space, evaluate_prediction, hot_path_set
+from repro.prediction import NETPredictor, PathProfilePredictor
+from repro.workloads import load_benchmark
+
+
+def main() -> None:
+    workload = load_benchmark("compress")
+    trace = workload.trace()
+    print(f"workload: {trace.name}, flow={trace.flow:,} path executions, "
+          f"{trace.num_paths} distinct paths")
+
+    hot = hot_path_set(trace, fraction=0.001)
+    print(f"0.1% HotPath set: {hot.num_hot} paths capturing "
+          f"{hot.captured_flow_percent:.1f}% of the flow\n")
+
+    for predictor in (PathProfilePredictor(50), NETPredictor(50)):
+        outcome = predictor.run(trace)
+        quality = evaluate_prediction(trace, hot, outcome)
+        print(quality.render())
+        print(f"  counters allocated: {outcome.counter_space:,}; "
+              f"profiling operations: {outcome.profiling_ops:,}")
+        print(f"  missed opportunity cost: {quality.moc_actual:,} "
+              f"path executions lost to the prediction delay\n")
+
+    space = counter_space(trace)
+    print(space.render())
+    print(f"NET saves {space.space_saving_percent:.1f}% of the counter "
+          f"space at equal prediction quality — 'less is more'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduction of *Software Profiling for Hot Path Prediction: Less is
+More* (Duesterwald & Bala, ASPLOS 2000).
+
+The library provides:
+
+* :mod:`repro.cfg` — control-flow graph substrate (blocks, procedures,
+  programs, analyses, Ball–Larus numbering);
+* :mod:`repro.isa` — a small register machine whose interpreter emits
+  branch-event traces from real programs;
+* :mod:`repro.trace` — branch events, the interprocedural forward-path
+  definition, extraction and recorded path traces;
+* :mod:`repro.profiling` — Ball–Larus, bit-tracing and k-bounded path
+  profilers plus edge/block baselines and overhead accounting;
+* :mod:`repro.prediction` — online hot-path predictors: path-profile
+  based and the paper's NET (Next Executing Tail) scheme;
+* :mod:`repro.metrics` — the paper's abstract prediction-quality metrics
+  (hit rate, noise, missed opportunity cost);
+* :mod:`repro.workloads` — calibrated SPECint95/deltablue surrogates and
+  phased workloads;
+* :mod:`repro.dynamo` — a cost-model simulator of the Dynamo dynamic
+  optimizer;
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro.workloads import load_benchmark
+    from repro.prediction import NETPredictor
+    from repro.metrics import evaluate_prediction, hot_path_set
+
+    trace = load_benchmark("compress").trace()
+    hot = hot_path_set(trace, fraction=0.001)
+    outcome = NETPredictor(delay=50).run(trace)
+    quality = evaluate_prediction(trace, hot, outcome)
+    print(quality.hit_rate, quality.noise_rate)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,65 @@
+"""Graphviz (DOT) export of control-flow graphs.
+
+Purely textual — no graphviz dependency — so programs, their loops and
+the NET head population can be visualized with any DOT renderer.  Path
+heads (backward-branch targets) are highlighted, back edges drawn
+dashed, and call/return edges drawn between procedure clusters.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.edge import EdgeKind
+from repro.cfg.program import Program
+
+_EDGE_STYLE = {
+    EdgeKind.TAKEN: 'label="T"',
+    EdgeKind.FALLTHROUGH: 'label="F"',
+    EdgeKind.STRAIGHT: "",
+    EdgeKind.JUMP: "",
+    EdgeKind.INDIRECT: "style=dotted",
+    EdgeKind.CALL: "color=blue",
+    EdgeKind.RETURN: "color=blue, style=dotted",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def program_to_dot(
+    program: Program,
+    include_interprocedural: bool = True,
+    highlight_heads: bool = True,
+) -> str:
+    """Render ``program`` as a DOT digraph with procedure clusters."""
+    heads = program.backward_branch_targets() if highlight_heads else set()
+    lines = [f"digraph {_quote(program.name)} {{", "  node [shape=box];"]
+
+    for index, (name, proc) in enumerate(program.procedures.items()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(name)};")
+        for block in proc.blocks:
+            attributes = [
+                f"label={_quote(f'{block.label}@{block.address} ({block.size})')}"
+            ]
+            if block.uid in heads:
+                attributes.append("style=filled")
+                attributes.append('fillcolor="gold"')
+            lines.append(f"    n{block.uid} [{', '.join(attributes)}];")
+        lines.append("  }")
+
+    for edge in program.edges:
+        if edge.interprocedural and not include_interprocedural:
+            continue
+        attributes = []
+        style = _EDGE_STYLE.get(edge.kind, "")
+        if style:
+            attributes.append(style)
+        if edge.backward:
+            attributes.append("style=dashed")
+            attributes.append("constraint=false")
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  n{edge.src} -> n{edge.dst}{suffix};")
+
+    lines.append("}")
+    return "\n".join(lines)

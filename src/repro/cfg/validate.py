@@ -1,0 +1,88 @@
+"""Structural validation of finalized programs.
+
+Validation catches construction mistakes early: dangling labels are caught
+during finalization, so this pass focuses on reachability and shape
+problems that would otherwise surface as confusing behaviour deep inside
+the trace extractor or the workload generators.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.analysis import intraprocedural_successors, reachable_from
+from repro.cfg.block import BranchKind
+from repro.cfg.program import Program
+from repro.errors import CFGValidationError
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`CFGValidationError` listing every structural finding.
+
+    Checks performed:
+
+    * the program was finalized;
+    * every block of every procedure is intraprocedurally reachable from
+      its procedure's entry (catches mis-wired builders; whole procedures
+      may legitimately be uncalled, mirroring dead functions in real
+      binaries);
+    * at least one ``HALT`` is reachable from the program entry (the
+      program can terminate);
+    * every indirect terminator has at least one target.
+    """
+    findings: list[str] = []
+    if not program.finalized:
+        raise CFGValidationError(["program is not finalized"])
+
+    for proc in program.procedures.values():
+        succs = intraprocedural_successors(program, proc)
+        reachable_local = reachable_from(proc.entry.uid, succs)
+        for block in proc.blocks:
+            if block.uid not in reachable_local:
+                findings.append(
+                    f"block {block.proc_name}.{block.label} is unreachable "
+                    f"within its procedure"
+                )
+
+    halts = [
+        block
+        for block in program.blocks
+        if block.terminator.kind is BranchKind.HALT
+    ]
+    if not halts:
+        findings.append("program has no HALT block")
+    else:
+        reachable_global = _reachable_uids(program)
+        if not any(block.uid in reachable_global for block in halts):
+            findings.append(
+                "no HALT block is reachable: the program cannot stop"
+            )
+
+    for block in program.blocks:
+        term = block.terminator
+        if term.kind is BranchKind.INDIRECT and not block.target_uids:
+            findings.append(
+                f"indirect jump in {block.proc_name}.{block.label} has no "
+                f"targets"
+            )
+        if term.kind is BranchKind.ICALL and not block.target_uids:
+            findings.append(
+                f"indirect call in {block.proc_name}.{block.label} has no "
+                f"callees"
+            )
+
+    if findings:
+        raise CFGValidationError(findings)
+
+
+def _reachable_uids(program: Program) -> set[int]:
+    """Blocks reachable from the entry along any edge kind."""
+    seen: set[int] = set()
+    stack = [program.entry_block.uid]
+    while stack:
+        uid = stack.pop()
+        if uid in seen:
+            continue
+        seen.add(uid)
+        for edge in program.out_edges(uid):
+            if edge.dst not in seen:
+                stack.append(edge.dst)
+    return seen

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Available benchmarks and regenerable experiments.
+``inspect BENCH``
+    Trace summary, Table 1/2 cells and counter space of one benchmark.
+``experiment NAME [NAME…]``
+    Regenerate paper tables/figures (optionally into an output dir).
+``sweep BENCH``
+    Prediction-delay sweep of both schemes on one benchmark.
+``dynamo BENCH``
+    Dynamo simulation cells for one benchmark.
+``save-trace BENCH FILE`` / ``trace-info FILE``
+    Persist a benchmark trace / summarize a saved trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.dynamo import DynamoSystem
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENT_IDS, run_experiment, sweep_trace
+from repro.experiments.extended import EXTENDED_IDS, run_extended
+from repro.experiments.report import render_table
+from repro.metrics import counter_space, hot_path_set
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import summarize
+from repro.workloads import BENCHMARK_ORDER, load_benchmark
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks: " + ", ".join(BENCHMARK_ORDER))
+    print("experiments: " + ", ".join(EXPERIMENT_IDS))
+    print("extended: " + ", ".join(EXTENDED_IDS))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
+    print(summarize(trace).render())
+    hot = hot_path_set(trace)
+    print(
+        f"0.1% HotPath set: {hot.num_hot} paths, "
+        f"{hot.captured_flow_percent:.1f}% of the flow"
+    )
+    print(counter_space(trace).render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    out_dir = pathlib.Path(args.out) if args.out else None
+    names = args.names or list(EXPERIMENT_IDS)
+    for name in names:
+        text = run_experiment(name, flow_scale=args.flow_scale)
+        print(text)
+        print()
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_extended(args: argparse.Namespace) -> int:
+    names = args.names or list(EXTENDED_IDS)
+    for name in names:
+        print(run_extended(name, flow_scale=args.flow_scale))
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
+    delays = tuple(args.delays) if args.delays else None
+    points = (
+        sweep_trace(trace, delays=delays) if delays else sweep_trace(trace)
+    )
+    rows = [
+        [
+            point.scheme,
+            point.delay,
+            f"{point.profiled_flow_percent:.2f}",
+            f"{point.hit_rate:.2f}",
+            f"{point.noise_rate:.2f}",
+            point.num_predicted,
+        ]
+        for point in points
+    ]
+    print(
+        render_table(
+            headers=[
+                "scheme",
+                "delay",
+                "profiled %",
+                "hit %",
+                "noise %",
+                "#pred",
+            ],
+            rows=rows,
+            title=f"Delay sweep: {trace.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_dynamo(args: argparse.Namespace) -> int:
+    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
+    system = DynamoSystem()
+    for scheme in ("net", "path-profile"):
+        for delay in args.delays or (10, 50, 100):
+            print(system.run(trace, scheme, delay).render())
+    return 0
+
+
+def _cmd_save_trace(args: argparse.Namespace) -> int:
+    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
+    target = save_trace(trace, args.file)
+    print(f"saved {trace.name} ({trace.flow:,} occurrences) to {target}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    trace = load_trace(args.file)
+    print(summarize(trace).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Software Profiling for Hot Path "
+            "Prediction: Less is More' (Duesterwald & Bala, ASPLOS 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="benchmarks and experiments").set_defaults(
+        handler=_cmd_list
+    )
+
+    def add_flow_scale(p):
+        p.add_argument(
+            "--flow-scale",
+            type=float,
+            default=1.0,
+            help="shrink/grow the workload flow (default 1.0)",
+        )
+
+    inspect = sub.add_parser("inspect", help="summarize one benchmark")
+    inspect.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    add_flow_scale(inspect)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate paper tables/figures"
+    )
+    experiment.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run (default: all of {', '.join(EXPERIMENT_IDS)})",
+    )
+    experiment.add_argument("--out", help="directory for .txt artifacts")
+    add_flow_scale(experiment)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    extended = sub.add_parser(
+        "extended", help="extension studies (overhead, ablations, …)"
+    )
+    extended.add_argument(
+        "names",
+        nargs="*",
+        help=f"studies to run (default: all of {', '.join(EXTENDED_IDS)})",
+    )
+    add_flow_scale(extended)
+    extended.set_defaults(handler=_cmd_extended)
+
+    sweep = sub.add_parser("sweep", help="delay sweep on one benchmark")
+    sweep.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    sweep.add_argument("--delays", type=int, nargs="+")
+    add_flow_scale(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    dynamo = sub.add_parser("dynamo", help="Dynamo simulation cells")
+    dynamo.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    dynamo.add_argument("--delays", type=int, nargs="+")
+    add_flow_scale(dynamo)
+    dynamo.set_defaults(handler=_cmd_dynamo)
+
+    save = sub.add_parser("save-trace", help="persist a benchmark trace")
+    save.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    save.add_argument("file")
+    add_flow_scale(save)
+    save.set_defaults(handler=_cmd_save_trace)
+
+    info = sub.add_parser("trace-info", help="summarize a saved trace")
+    info.add_argument("file")
+    info.set_defaults(handler=_cmd_trace_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

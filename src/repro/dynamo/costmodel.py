@@ -1,0 +1,224 @@
+"""Vectorized Dynamo cost model.
+
+Given a trace and a predictor outcome, the model charges every path
+occurrence to one of three execution modes:
+
+* **interpreted** — before the path materializes: ``n × interp`` plus the
+  scheme's profiling work;
+* **selection** — the occurrence that materializes the path: interpreted
+  *and* recorded/optimized/emitted;
+* **fragment** — every later occurrence: ``n × native × speedup`` plus a
+  dispatch cost when entering the cache from the interpreter (linked
+  fragment→fragment transfers are free).
+
+The per-scheme profiling charges follow paper §4: NET bumps a head
+counter on backward arrivals while interpreting; path-profile based
+prediction shifts a history bit per branch and updates the path table at
+every path end — and, because the scheme needs complete path frequencies
+even for paths flowing through cached code, the bit tracing stays live
+inside fragments (``instrument_fragments``).
+
+This model is O(flow) in numpy and exactly matches the event-level
+simulator in :mod:`repro.dynamo.system` on fragment structure; tests
+assert the cycle totals agree within tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamo.config import DEFAULT_CONFIG, DynamoConfig
+from repro.dynamo.stats import CycleBreakdown, DynamoRun
+from repro.prediction.base import PredictionOutcome
+from repro.trace.recorder import PathTrace
+
+
+def native_cycles(trace: PathTrace, config: DynamoConfig) -> float:
+    """Cycles the native binary spends on the whole trace."""
+    instr = trace.instructions_per_path()[trace.path_ids]
+    return float(instr.sum()) * config.native_per_instr
+
+
+def simulate_costs(
+    trace: PathTrace,
+    outcome: PredictionOutcome,
+    config: DynamoConfig = DEFAULT_CONFIG,
+    benchmark: str | None = None,
+) -> DynamoRun:
+    """Run the vectorized cost model for one predictor outcome."""
+    n = len(trace.path_ids)
+    instr_per_path = trace.instructions_per_path()
+    cond_per_path = trace.cond_branches_per_path()
+    indirect_per_path = trace.indirect_branches_per_path()
+
+    # Materialization time per path (+inf when never predicted).
+    never = n  # any index comparison against n is "never"
+    t_per_path = np.full(trace.num_paths, never, dtype=np.int64)
+    if len(outcome.predicted_ids):
+        t_per_path[outcome.predicted_ids] = outcome.prediction_times
+
+    occ_instr = instr_per_path[trace.path_ids]
+    occ_profile_units = (cond_per_path + indirect_per_path)[trace.path_ids]
+    t_occ = t_per_path[trace.path_ids]
+    index = np.arange(n, dtype=np.int64)
+
+    cached = index > t_occ
+    selecting = index == t_occ
+    interpreted = ~cached & ~selecting
+
+    tail_start = int(n * (1.0 - config.steady_state_fraction))
+    tail = index >= tail_start
+
+    executing = interpreted | selecting
+    interp_instr = float(occ_instr[executing].sum())
+    interpretation = interp_instr * config.interp_per_instr
+    interp_tail = (
+        float(occ_instr[executing & tail].sum()) * config.interp_per_instr
+    )
+
+    # Scheme-specific profiling charges.
+    if outcome.scheme.startswith("net"):
+        arrivals = trace.backward_arrival_mask()
+        bumps = int((arrivals & executing).sum())
+        profiling = bumps * config.counter_cost
+        profiling_tail = (
+            int((arrivals & executing & tail).sum()) * config.counter_cost
+        )
+    else:
+        profiled = executing
+        if config.instrument_fragments:
+            profiled = np.ones(n, dtype=bool)
+        units = float(occ_profile_units[profiled].sum())
+        profiling = units * config.bit_cost + float(
+            profiled.sum()
+        ) * config.table_cost
+        profiled_tail = profiled & tail
+        profiling_tail = float(
+            occ_profile_units[profiled_tail].sum()
+        ) * config.bit_cost + float(profiled_tail.sum()) * config.table_cost
+
+    emitted = (
+        int(instr_per_path[outcome.predicted_ids].sum())
+        if len(outcome.predicted_ids)
+        else 0
+    )
+    per_emit = config.select_per_instr + config.emit_per_instr
+    selection = emitted * per_emit
+    if len(outcome.predicted_ids):
+        late = outcome.prediction_times >= tail_start
+        selection_tail = (
+            float(instr_per_path[outcome.predicted_ids[late]].sum()) * per_emit
+        )
+    else:
+        selection_tail = 0.0
+
+    fragment_rate = config.native_per_instr * config.fragment_speedup
+    fragment_execution = float(occ_instr[cached].sum()) * fragment_rate
+    fragment_tail = float(occ_instr[cached & tail].sum()) * fragment_rate
+
+    # Cache entries: a cached occurrence whose predecessor was not cached.
+    prev_cached = np.empty(n, dtype=bool)
+    if n:
+        prev_cached[0] = False
+        prev_cached[1:] = cached[:-1]
+    entry_mask = cached & ~prev_cached
+    dispatch = int(entry_mask.sum()) * config.dispatch_cost
+    dispatch_tail = int((entry_mask & tail).sum()) * config.dispatch_cost
+
+    flushes = max(
+        0,
+        -(-emitted // config.cache_budget_instructions) - 1,
+    )
+    flush_cycles = flushes * config.flush_penalty
+    bailed = (
+        flushes > config.bail_out_flushes
+        or outcome.num_predictions > config.bail_out_fragments
+    )
+
+    native = native_cycles(trace, config)
+    breakdown = CycleBreakdown(
+        interpretation=interpretation,
+        profiling=profiling,
+        selection=selection,
+        fragment_execution=fragment_execution,
+        dispatch=dispatch,
+        flushes=flush_cycles,
+    )
+
+    # Asymptotic steady-state rate: the run once every path that ever
+    # materializes is resident.  Used to extend the short measured run to
+    # paper-scale lengths (see DynamoConfig.amortization); the measured
+    # tail quantities above feed the reported breakdown only.
+    steady_rate = _asymptotic_rate(trace, outcome, config)
+
+    extension = max(config.amortization - 1.0, 0.0) * native
+    native_total = native + extension
+    dynamo_total = breakdown.total + steady_rate * extension
+    if bailed:
+        dynamo_total = native_total * (1.0 + config.bail_out_overhead)
+
+    return DynamoRun(
+        benchmark=benchmark or trace.name,
+        scheme=outcome.scheme,
+        delay=outcome.delay,
+        native_cycles=native_total,
+        dynamo_cycles=dynamo_total,
+        breakdown=breakdown,
+        num_fragments=outcome.num_predictions,
+        emitted_instructions=emitted,
+        flushes=flushes,
+        bailed_out=bailed,
+        steady_rate=steady_rate,
+        amortization=config.amortization,
+    )
+
+
+def _asymptotic_rate(
+    trace: PathTrace,
+    outcome: PredictionOutcome,
+    config: DynamoConfig,
+) -> float:
+    """Warm cycles per native cycle once every predicted path is cached.
+
+    Occurrences of ever-predicted paths run in the fragment cache (plus
+    dispatch at interpreter→cache entries); occurrences of never-predicted
+    paths are interpreted forever, with the scheme's residual profiling.
+    """
+    n = len(trace.path_ids)
+    if n == 0:
+        return 1.0
+    instr_per_path = trace.instructions_per_path()
+    occ_instr = instr_per_path[trace.path_ids]
+    occ_units = (
+        trace.cond_branches_per_path() + trace.indirect_branches_per_path()
+    )[trace.path_ids]
+
+    ever = np.zeros(trace.num_paths, dtype=bool)
+    if len(outcome.predicted_ids):
+        ever[outcome.predicted_ids] = True
+    ecached = ever[trace.path_ids]
+
+    cycles = float(occ_instr[ecached].sum()) * (
+        config.native_per_instr * config.fragment_speedup
+    )
+    cycles += float(occ_instr[~ecached].sum()) * config.interp_per_instr
+
+    if outcome.scheme.startswith("net"):
+        arrivals = trace.backward_arrival_mask()
+        cycles += int((arrivals & ~ecached).sum()) * config.counter_cost
+    else:
+        profiled = (
+            np.ones(n, dtype=bool) if config.instrument_fragments else ~ecached
+        )
+        cycles += (
+            float(occ_units[profiled].sum()) * config.bit_cost
+            + float(profiled.sum()) * config.table_cost
+        )
+
+    prev = np.empty(n, dtype=bool)
+    prev[0] = False
+    prev[1:] = ecached[:-1]
+    cycles += int((ecached & ~prev).sum()) * config.dispatch_cost
+
+    native = float(occ_instr.sum()) * config.native_per_instr
+    return cycles / native if native > 0 else 1.0

@@ -1,0 +1,605 @@
+"""A working miniature Dynamo: interpret, profile, compile, run.
+
+Where :mod:`repro.dynamo.system` *models* Dynamo's costs over path
+traces, this module *is* a small Dynamo for the reproduction's ISA.  It
+executes real programs the way the paper's system does:
+
+1. **interpret** instructions, bumping a NET counter whenever a backward
+   taken branch lands on a target (paper §4.2's "only profiling the
+   potential trace heads");
+2. once a counter exceeds the prediction delay τ, **record the next
+   executing tail** while continuing to interpret — exactly the
+   speculative NET selection;
+3. **compile** the recorded trace into a fragment: on-trace jumps
+   disappear (the layout is the trace), conditional branches become
+   guards that exit to the interpreter when execution diverges, indirect
+   jumps/calls guard on their recorded target, returns guard on the
+   recorded continuation;
+4. **execute fragments natively**, chaining fragment→fragment transfers
+   without dispatch (linking);
+5. plant **exit counters** on guard exits — Dynamo's secondary trace
+   heads — so the working set's other hot tails materialize too.
+
+Correctness is testable, not assumed: for every bundled program the VM's
+output must equal the plain interpreter's, whatever mix of interpreted
+and fragment execution produced it.  The VM also keeps the same cycle
+accounting as the cost model, so measured speedups of real executions
+can be compared with the simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dynamo.config import DEFAULT_CONFIG, DynamoConfig
+from repro.errors import DynamoError, MachineLimitExceeded
+from repro.isa.assembler import AssembledProgram
+from repro.isa.instructions import COND_BRANCHES, Instruction, Op
+from repro.isa.machine import DEFAULT_MEMORY_WORDS, Machine
+
+#: Trace-length cap in recorded instructions (Dynamo bounded traces).
+DEFAULT_MAX_TRACE_INSTRUCTIONS = 128
+
+
+@dataclass
+class VMStep:
+    """One compiled fragment slot."""
+
+    pc: int
+    instruction: Instruction
+    #: "exec", "guard_cond", "guard_target", "guard_ret", or "halt".
+    kind: str = "exec"
+    #: guard_cond: the recorded direction.
+    expected_taken: bool = False
+    #: guard_target / guard_ret / call: the recorded next pc.
+    expected_target: int = -1
+
+
+@dataclass
+class VMFragment:
+    """A compiled trace resident in the VM's code cache."""
+
+    head_pc: int
+    steps: list[VMStep]
+    #: Where execution continues after the last step.
+    final_target: int
+    created_at_step: int
+    executions: int = 0
+    guard_exits: int = 0
+
+    @property
+    def num_instructions(self) -> int:
+        """Occupied slots (the cache-budget unit)."""
+        return len(self.steps)
+
+
+@dataclass
+class VMStats:
+    """Everything the VM counts during a run."""
+
+    interpreted_instructions: int = 0
+    fragment_instructions: int = 0
+    counter_bumps: int = 0
+    #: Path-profile mode: history-bit shifts (interpreter + fragments).
+    shift_ops: int = 0
+    #: Path-profile mode: path-table updates.
+    table_ops: int = 0
+    recorded_instructions: int = 0
+    fragments_built: int = 0
+    fragment_entries: int = 0
+    linked_transfers: int = 0
+    guard_exits: int = 0
+    flushes: int = 0
+
+    def cycles(self, config: DynamoConfig) -> float:
+        """Dynamo cycles under the shared cost model."""
+        return (
+            self.interpreted_instructions * config.interp_per_instr
+            + self.fragment_instructions
+            * config.native_per_instr
+            * config.fragment_speedup
+            + self.counter_bumps * config.counter_cost
+            + self.shift_ops * config.bit_cost
+            + self.table_ops * config.table_cost
+            + self.recorded_instructions
+            * (config.select_per_instr + config.emit_per_instr)
+            + self.fragment_entries * config.dispatch_cost
+            + self.flushes * config.flush_penalty
+        )
+
+    def native_cycles(self, config: DynamoConfig) -> float:
+        """What the same instruction stream costs natively."""
+        total = self.interpreted_instructions + self.fragment_instructions
+        return total * config.native_per_instr
+
+    @property
+    def cached_fraction(self) -> float:
+        """Share of instructions executed inside fragments."""
+        total = self.interpreted_instructions + self.fragment_instructions
+        if total == 0:
+            return 0.0
+        return self.fragment_instructions / total
+
+
+@dataclass
+class VMResult:
+    """Outcome of one VM run."""
+
+    output: list[int]
+    stats: VMStats
+    fragments: dict[int, VMFragment] = field(default_factory=dict)
+    #: Periodic (interpreted, fragment, shift-op, table-op) checkpoints.
+    checkpoints: list[tuple[int, int, int, int]] = field(
+        default_factory=list
+    )
+
+    def speedup_percent(self, config: DynamoConfig = DEFAULT_CONFIG) -> float:
+        """Raw short-run speedup over native (warm-up included)."""
+        dynamo = self.stats.cycles(config)
+        if dynamo <= 0:
+            return 0.0
+        return 100.0 * (self.stats.native_cycles(config) / dynamo - 1.0)
+
+    def steady_rate(self, config: DynamoConfig = DEFAULT_CONFIG) -> float:
+        """Warm Dynamo cycles per native cycle, from the run's tail.
+
+        Measured over the final quarter of the checkpoint series, where
+        the working set is resident; one-time selection costs are
+        excluded (they amortize over long runs).
+        """
+        if len(self.checkpoints) < 4:
+            interp = self.stats.interpreted_instructions
+            cached = self.stats.fragment_instructions
+            shifts = self.stats.shift_ops
+            tables = self.stats.table_ops
+        else:
+            cut = len(self.checkpoints) * 3 // 4
+            last, base = self.checkpoints[-1], self.checkpoints[cut]
+            interp = last[0] - base[0]
+            cached = last[1] - base[1]
+            shifts = last[2] - base[2]
+            tables = last[3] - base[3]
+        total = interp + cached
+        if total == 0:
+            return 1.0
+        dynamo = (
+            interp * config.interp_per_instr
+            + cached * config.native_per_instr * config.fragment_speedup
+            + shifts * config.bit_cost
+            + tables * config.table_cost
+        )
+        return dynamo / (total * config.native_per_instr)
+
+    def steady_speedup_percent(
+        self, config: DynamoConfig = DEFAULT_CONFIG
+    ) -> float:
+        """Warm steady-state speedup over native."""
+        rate = self.steady_rate(config)
+        if rate <= 0:
+            return 0.0
+        return 100.0 * (1.0 / rate - 1.0)
+
+
+class DynamoVM:
+    """The miniature Dynamo.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to accelerate.
+    delay:
+        NET prediction delay τ for head and exit counters.
+    max_trace_instructions:
+        Trace-length cap.
+    cache_budget_instructions:
+        Fragment-cache capacity; overflow flushes everything (Dynamo's
+        policy) and restarts the counters.
+    """
+
+    def __init__(
+        self,
+        program: AssembledProgram,
+        delay: int = 50,
+        scheme: str = "net",
+        max_trace_instructions: int = DEFAULT_MAX_TRACE_INSTRUCTIONS,
+        cache_budget_instructions: int = 60_000,
+        memory_words: int = DEFAULT_MEMORY_WORDS,
+    ):
+        if delay < 0:
+            raise DynamoError("delay must be non-negative")
+        if scheme not in ("net", "path-profile"):
+            raise DynamoError(f"unknown VM scheme {scheme!r}")
+        if max_trace_instructions < 2:
+            raise DynamoError("traces need at least two instructions")
+        self.program = program
+        self.delay = delay
+        self.scheme = scheme
+        self.max_trace_instructions = max_trace_instructions
+        self.cache_budget = cache_budget_instructions
+        self._machine = Machine(program, memory_words=memory_words)
+
+    # ------------------------------------------------------------------
+    def load_memory(self, values: list[int], base: int = 0) -> None:
+        """Pre-populate data memory (program input)."""
+        self._machine.load_memory(values, base)
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 10_000_000) -> VMResult:
+        """Execute until HALT; returns output, stats and the cache."""
+        machine = self._machine
+        state = machine.state
+        instructions = self.program.instructions
+        stats = VMStats()
+        fragments: dict[int, VMFragment] = {}
+        occupancy = 0
+        counters: dict[int, int] = {}
+        hot: set[int] = set()
+        recording: list[tuple[int, bool, int]] | None = None
+        recording_head = -1
+        steps = 0
+        checkpoints: list[tuple[int, int]] = []
+        next_checkpoint = 2048
+        path_profile = self.scheme == "path-profile"
+        # Path-profile mode: the always-on shadow segment (bit tracing).
+        segment: list[tuple[int, bool, int]] = []
+        segment_head = state.pc
+        segment_bits: list[int] = []
+        path_counts: dict[tuple, int] = {}
+
+        def bump(target_pc: int) -> None:
+            nonlocal recording, recording_head
+            if target_pc in hot or target_pc in fragments:
+                return
+            count = counters.get(target_pc, 0) + 1
+            counters[target_pc] = count
+            stats.counter_bumps += 1
+            if count > self.delay and recording is None:
+                hot.add(target_pc)
+                counters.pop(target_pc, None)
+                recording = []
+                recording_head = target_pc
+
+        def install(trace, head_pc, final_target) -> None:
+            nonlocal occupancy
+            if len(trace) < 2:
+                return
+            fragment = self._compile(trace, head_pc, final_target, steps)
+            stats.recorded_instructions += len(trace)
+            stats.fragments_built += 1
+            if occupancy + fragment.num_instructions > self.cache_budget:
+                fragments.clear()
+                occupancy = 0
+                counters.clear()
+                hot.clear()
+                path_counts.clear()
+                stats.flushes += 1
+            fragments[fragment.head_pc] = fragment
+            occupancy += fragment.num_instructions
+
+        def finish_recording(final_target: int) -> None:
+            nonlocal recording, recording_head
+            trace = recording
+            recording = None
+            if trace is None:
+                return
+            install(trace, recording_head, final_target)
+
+        def end_segment(final_target: int) -> None:
+            """Path-profile mode: a segment (path) just completed."""
+            nonlocal segment, segment_head, segment_bits
+            stats.table_ops += 1
+            key = (segment_head, tuple(segment_bits))
+            count = path_counts.get(key, 0) + 1
+            path_counts[key] = count
+            if count > self.delay and segment_head not in fragments:
+                install(list(segment), segment_head, final_target)
+            segment = []
+            segment_head = final_target
+            segment_bits = []
+
+        def checkpoint() -> None:
+            nonlocal next_checkpoint
+            while steps >= next_checkpoint:
+                checkpoints.append(
+                    (
+                        stats.interpreted_instructions,
+                        stats.fragment_instructions,
+                        stats.shift_ops,
+                        stats.table_ops,
+                    )
+                )
+                next_checkpoint += 2048
+
+        while True:
+            if steps >= max_steps:
+                raise MachineLimitExceeded(steps)
+            checkpoint()
+
+            fragment = fragments.get(state.pc)
+            if fragment is not None and recording is None:
+                if path_profile:
+                    segment = []
+                    segment_bits = []
+                stats.fragment_entries += 1
+                while fragment is not None:
+                    exit_pc, completed = self._run_fragment(fragment, stats)
+                    steps += fragment.num_instructions
+                    checkpoint()
+                    if steps >= max_steps:
+                        raise MachineLimitExceeded(steps)
+                    if exit_pc is None:
+                        return VMResult(
+                            output=state.output,
+                            stats=stats,
+                            fragments=fragments,
+                            checkpoints=checkpoints,
+                        )
+                    state.pc = exit_pc
+                    if path_profile:
+                        # The instrumented fragment counted its own path;
+                        # the interpreter resumes a fresh segment here.
+                        stats.shift_ops += sum(
+                            1
+                            for step in fragment.steps
+                            if step.kind == "guard_cond"
+                        )
+                        stats.table_ops += 1
+                        segment = []
+                        segment_head = exit_pc
+                        segment_bits = []
+                    next_fragment = fragments.get(exit_pc)
+                    if not completed:
+                        if next_fragment is not None:
+                            # Exit-stub linking: Dynamo patches guard
+                            # exits to jump straight into the target
+                            # fragment — no dispatch, no interpreter.
+                            stats.linked_transfers += 1
+                            fragment = next_fragment
+                        else:
+                            if not path_profile:
+                                # Cold exit: plant a secondary trace
+                                # head (NET's exit counters).
+                                bump(exit_pc)
+                            fragment = None
+                    else:
+                        if next_fragment is not None:
+                            stats.linked_transfers += 1
+                        fragment = next_fragment
+                continue
+
+            # ----------------------------------------------------------
+            # Interpret one instruction.
+            pc = state.pc
+            instr = instructions[pc]
+            steps += 1
+            stats.interpreted_instructions += 1
+            next_pc, taken, halted = self._interpret(instr, pc)
+            if halted:
+                if recording is not None:
+                    recording = None
+                return VMResult(
+                    output=state.output,
+                    stats=stats,
+                    fragments=fragments,
+                    checkpoints=checkpoints,
+                )
+
+            if recording is not None:
+                recording.append((pc, taken, next_pc))
+
+            backward_taken = taken and next_pc <= pc
+            if path_profile:
+                segment.append((pc, taken, next_pc))
+                if instr.op in COND_BRANCHES:
+                    segment_bits.append(int(taken))
+                    stats.shift_ops += 1
+                if backward_taken or len(segment) >= (
+                    self.max_trace_instructions
+                ):
+                    end_segment(next_pc)
+            elif backward_taken:
+                if recording is not None:
+                    finish_recording(next_pc)
+                bump(next_pc)
+            elif recording is not None and len(
+                recording
+            ) >= self.max_trace_instructions:
+                finish_recording(next_pc)
+
+            state.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def _interpret(
+        self, instr: Instruction, pc: int
+    ) -> tuple[int, bool, bool]:
+        """Execute one instruction; returns (next_pc, taken, halted)."""
+        machine = self._machine
+        state = machine.state
+        regs = state.registers
+        op = instr.op
+
+        if op in COND_BRANCHES:
+            if machine._compare(op, regs[instr.rs], regs[instr.rt]):
+                return instr.target, True, False
+            return pc + 1, False, False
+        if op is Op.JMP:
+            return instr.target, True, False
+        if op is Op.JR:
+            target = regs[instr.rs]
+            machine._check_leader(target, "jr")
+            return target, True, False
+        if op is Op.CALL:
+            state.call_stack.append(pc + 1)
+            return instr.target, True, False
+        if op is Op.CALLR:
+            target = regs[instr.rs]
+            machine._check_leader(target, "callr")
+            state.call_stack.append(pc + 1)
+            return target, True, False
+        if op is Op.RET:
+            if not state.call_stack:
+                return pc, False, True
+            return state.call_stack.pop(), True, False
+        if op is Op.HALT:
+            return pc, False, True
+
+        # Straight-line execution through the machine's own semantics.
+        saved_pc = state.pc
+        state.pc = pc
+        machine._execute_straightline(instr, regs, state.memory)
+        state.pc = saved_pc
+        return pc + 1, False, False
+
+    # ------------------------------------------------------------------
+    def _compile(
+        self,
+        trace: list[tuple[int, bool, int]],
+        head_pc: int,
+        final_target: int,
+        at_step: int,
+    ) -> VMFragment:
+        """Straighten a recorded trace into a guarded fragment."""
+        instructions = self.program.instructions
+        steps: list[VMStep] = []
+        known: dict[int, tuple[str, int]] = {}
+        for pc, taken, next_pc in trace:
+            instr = instructions[pc]
+            op = instr.op
+            if op is Op.JMP:
+                continue  # the layout is the trace
+            if op in COND_BRANCHES:
+                steps.append(
+                    VMStep(
+                        pc=pc,
+                        instruction=instr,
+                        kind="guard_cond",
+                        expected_taken=taken,
+                    )
+                )
+                continue
+            if op in (Op.JR, Op.CALLR):
+                steps.append(
+                    VMStep(
+                        pc=pc,
+                        instruction=instr,
+                        kind="guard_target",
+                        expected_target=next_pc,
+                    )
+                )
+                known.clear()
+                continue
+            if op is Op.RET:
+                steps.append(
+                    VMStep(
+                        pc=pc,
+                        instruction=instr,
+                        kind="guard_ret",
+                        expected_target=next_pc,
+                    )
+                )
+                continue
+            if op is Op.CALL:
+                steps.append(
+                    VMStep(pc=pc, instruction=instr, kind="exec")
+                )
+                known.clear()
+                continue
+            if op is Op.HALT:
+                steps.append(VMStep(pc=pc, instruction=instr, kind="halt"))
+                continue
+            # Safe redundant-constant elimination: reloading the value a
+            # register already holds is a no-op at any exit.
+            if op in (Op.LI, Op.LA):
+                value = (
+                    ("const", instr.imm) if op is Op.LI else ("la", instr.target)
+                )
+                if known.get(instr.rd) == value:
+                    continue
+                known[instr.rd] = value
+            else:
+                written = instr.rd
+                if written is not None:
+                    known.pop(written, None)
+            steps.append(VMStep(pc=pc, instruction=instr, kind="exec"))
+        return VMFragment(
+            head_pc=head_pc,
+            steps=steps,
+            final_target=final_target,
+            created_at_step=at_step,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_fragment(
+        self, fragment: VMFragment, stats: VMStats
+    ) -> tuple[int | None, bool]:
+        """Execute a fragment; returns (exit pc or None-on-halt, completed).
+
+        ``completed`` is True when every guard passed and execution
+        reaches the fragment's final target (eligible for linking).
+        """
+        machine = self._machine
+        state = machine.state
+        regs = state.registers
+        fragment.executions += 1
+
+        for step in fragment.steps:
+            stats.fragment_instructions += 1
+            instr = step.instruction
+            kind = step.kind
+            if kind == "exec":
+                if instr.op is Op.CALL:
+                    state.call_stack.append(step.pc + 1)
+                    continue
+                saved_pc = state.pc
+                state.pc = step.pc
+                machine._execute_straightline(instr, regs, state.memory)
+                state.pc = saved_pc
+                continue
+            if kind == "guard_cond":
+                taken = machine._compare(
+                    instr.op, regs[instr.rs], regs[instr.rt]
+                )
+                if taken != step.expected_taken:
+                    fragment.guard_exits += 1
+                    stats.guard_exits += 1
+                    exit_pc = instr.target if taken else step.pc + 1
+                    return exit_pc, False
+                continue
+            if kind == "guard_target":
+                target = regs[instr.rs]
+                machine._check_leader(
+                    target, "jr" if instr.op is Op.JR else "callr"
+                )
+                if instr.op is Op.CALLR:
+                    state.call_stack.append(step.pc + 1)
+                if target != step.expected_target:
+                    fragment.guard_exits += 1
+                    stats.guard_exits += 1
+                    return target, False
+                continue
+            if kind == "guard_ret":
+                if not state.call_stack:
+                    return None, False  # return from main: halt
+                target = state.call_stack.pop()
+                if target != step.expected_target:
+                    fragment.guard_exits += 1
+                    stats.guard_exits += 1
+                    return target, False
+                continue
+            if kind == "halt":
+                return None, False
+        return fragment.final_target, True
+
+
+def run_mini_dynamo(
+    program: AssembledProgram,
+    memory: list[int] | None = None,
+    delay: int = 50,
+    max_steps: int = 10_000_000,
+    config: DynamoConfig = DEFAULT_CONFIG,
+) -> VMResult:
+    """Convenience wrapper: run ``program`` under the miniature Dynamo."""
+    vm = DynamoVM(program, delay=delay)
+    if memory:
+        vm.load_memory(memory)
+    return vm.run(max_steps=max_steps)

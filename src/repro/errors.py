@@ -1,0 +1,80 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem at fault.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class CFGError(ReproError):
+    """A control-flow graph is malformed or an operation on it is invalid."""
+
+
+class CFGValidationError(CFGError):
+    """A :class:`repro.cfg.Program` failed structural validation.
+
+    Carries the full list of findings so callers can report every problem at
+    once instead of fixing them one by one.
+    """
+
+    def __init__(self, findings: list[str]):
+        self.findings = list(findings)
+        summary = "; ".join(self.findings[:5])
+        if len(self.findings) > 5:
+            summary += f"; … ({len(self.findings) - 5} more)"
+        super().__init__(f"CFG validation failed: {summary}")
+
+
+class AssemblerError(ReproError):
+    """The ISA assembler rejected a source program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class MachineError(ReproError):
+    """The ISA interpreter encountered a fault (bad address, div by zero…)."""
+
+
+class MachineLimitExceeded(MachineError):
+    """The ISA interpreter hit its configured step budget.
+
+    Used to bound runaway programs in tests and examples; carries the number
+    of executed steps for diagnostics.
+    """
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        super().__init__(f"execution exceeded the step budget of {steps}")
+
+
+class TraceError(ReproError):
+    """A branch-event stream violated the trace invariants."""
+
+
+class ProfilingError(ReproError):
+    """A profiling scheme was misused or fed inconsistent data."""
+
+
+class PredictionError(ReproError):
+    """An online predictor was misused or fed inconsistent data."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is inconsistent or cannot be generated."""
+
+
+class DynamoError(ReproError):
+    """The Dynamo simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

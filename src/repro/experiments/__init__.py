@@ -1,0 +1,89 @@
+"""Experiment drivers: one module per paper table/figure.
+
+``run_experiment("table1")`` … ``run_experiment("figure5")`` regenerate
+the paper's evaluation artifacts; ``claims`` recomputes the §5.1 headline
+numbers and ``phases`` runs the §6.1 phase-change study.
+"""
+
+from repro.experiments.claims import (
+    ClaimResult,
+    evaluate_claims,
+    profiled_needed_for_noise,
+    render_claims,
+)
+from repro.experiments.data import benchmark_traces
+from repro.experiments.figure2 import (
+    FigureCurves,
+    build_figure2,
+    render_figure2,
+)
+from repro.experiments.figure3 import build_figure3, render_figure3
+from repro.experiments.figure4 import Figure4Bar, build_figure4, render_figure4
+from repro.experiments.figure5 import (
+    FIGURE5_DELAYS,
+    Figure5Cell,
+    bail_out_report,
+    build_figure5,
+    render_figure5,
+)
+from repro.experiments.phases import (
+    PhaseReport,
+    prediction_rate_series,
+    render_phase_report,
+    run_phase_experiment,
+)
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    run_experiment,
+)
+from repro.experiments.report import render_table
+from repro.experiments.sweep import (
+    DEFAULT_DELAYS,
+    SweepPoint,
+    average_curve,
+    interpolate_at_profiled,
+    scheme_curve,
+    sweep_trace,
+)
+from repro.experiments.table1 import Table1Row, build_table1, render_table1
+from repro.experiments.table2 import Table2Row, build_table2, render_table2
+
+__all__ = [
+    "DEFAULT_DELAYS",
+    "EXPERIMENT_IDS",
+    "FIGURE5_DELAYS",
+    "ClaimResult",
+    "Figure4Bar",
+    "Figure5Cell",
+    "FigureCurves",
+    "PhaseReport",
+    "SweepPoint",
+    "Table1Row",
+    "Table2Row",
+    "average_curve",
+    "bail_out_report",
+    "benchmark_traces",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+    "build_table1",
+    "build_table2",
+    "evaluate_claims",
+    "interpolate_at_profiled",
+    "prediction_rate_series",
+    "profiled_needed_for_noise",
+    "render_claims",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_phase_report",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "run_experiment",
+    "run_phase_experiment",
+    "scheme_curve",
+    "sweep_trace",
+]

@@ -1,0 +1,23 @@
+"""Shared data loading for the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.trace.recorder import PathTrace
+from repro.workloads.base import load_benchmark
+from repro.workloads.spec import BENCHMARK_ORDER
+
+
+def benchmark_traces(
+    names: list[str] | None = None, flow_scale: float = 1.0
+) -> dict[str, PathTrace]:
+    """Materialize the benchmark traces the experiments run over.
+
+    ``flow_scale`` < 1 shrinks every workload proportionally — used by
+    the test-suite for fast smoke runs; the benchmark harness uses the
+    full calibrated flows.
+    """
+    selected = names if names is not None else list(BENCHMARK_ORDER)
+    return {
+        name: load_benchmark(name, flow_scale=flow_scale).trace()
+        for name in selected
+    }

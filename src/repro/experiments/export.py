@@ -1,0 +1,125 @@
+"""CSV export of experiment data.
+
+The text tables are for reading; these writers produce the raw series
+(sweep points, Figure 5 cells, Table rows) as CSV so users can plot the
+figures with their tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from collections.abc import Iterable
+
+from repro.experiments.figure5 import Figure5Cell
+from repro.experiments.sweep import SweepPoint
+from repro.experiments.table1 import Table1Row
+from repro.experiments.table2 import Table2Row
+
+
+def _write(path: str | pathlib.Path, header: list[str], rows) -> pathlib.Path:
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return target
+
+
+def sweep_to_csv(
+    points: Iterable[SweepPoint], path: str | pathlib.Path
+) -> pathlib.Path:
+    """The Figure 2/3 sweep as CSV (one row per benchmark×scheme×delay)."""
+    return _write(
+        path,
+        [
+            "benchmark",
+            "scheme",
+            "delay",
+            "profiled_flow_percent",
+            "hit_rate",
+            "noise_rate",
+            "num_predicted",
+            "num_predicted_hot",
+        ],
+        (
+            [
+                p.benchmark,
+                p.scheme,
+                p.delay,
+                f"{p.profiled_flow_percent:.6f}",
+                f"{p.hit_rate:.6f}",
+                f"{p.noise_rate:.6f}",
+                p.num_predicted,
+                p.num_predicted_hot,
+            ]
+            for p in points
+        ),
+    )
+
+
+def figure5_to_csv(
+    cells: Iterable[Figure5Cell], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Figure 5 cells as CSV."""
+    return _write(
+        path,
+        ["benchmark", "scheme", "delay", "speedup_percent", "bailed_out"],
+        (
+            [
+                c.benchmark,
+                c.scheme,
+                c.delay,
+                f"{c.speedup_percent:.6f}",
+                int(c.bailed_out),
+            ]
+            for c in cells
+        ),
+    )
+
+
+def table1_to_csv(
+    rows: Iterable[Table1Row], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Table 1 rows (measured and paper columns) as CSV."""
+    return _write(
+        path,
+        [
+            "benchmark",
+            "num_paths",
+            "paper_paths",
+            "flow",
+            "hot_paths",
+            "paper_hot_paths",
+            "hot_flow_percent",
+            "paper_hot_flow_percent",
+        ],
+        (
+            [
+                r.benchmark,
+                r.num_paths,
+                r.paper_paths,
+                r.flow,
+                r.hot_paths,
+                r.paper_hot_paths,
+                f"{r.hot_flow_percent:.4f}",
+                f"{r.paper_hot_flow_percent:.4f}",
+            ]
+            for r in rows
+        ),
+    )
+
+
+def table2_to_csv(
+    rows: Iterable[Table2Row], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Table 2 rows as CSV."""
+    return _write(
+        path,
+        ["benchmark", "num_paths", "paper_paths", "num_heads", "paper_heads"],
+        (
+            [r.benchmark, r.num_paths, r.paper_paths, r.num_heads, r.paper_heads]
+            for r in rows
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Figure 3 — noise rates vs profiled flow.
+
+Same four-panel structure as Figure 2 with the noise metric: the
+percentage of cold flow inadvertently included in the prediction set
+(see :mod:`repro.metrics.quality` for the normalization note).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import FigureCurves, build_figure2, render_panel
+from repro.trace.recorder import PathTrace
+
+
+def build_figure3(
+    traces: dict[str, PathTrace] | None = None,
+    flow_scale: float = 1.0,
+) -> FigureCurves:
+    """Figure 3 shares Figure 2's sweep; build (or reuse) it."""
+    return build_figure2(traces=traces, flow_scale=flow_scale)
+
+
+def render_figure3(curves: FigureCurves) -> str:
+    """All four panels of Figure 3 as text."""
+    parts = [
+        render_panel(
+            curves.panel("path-profile"),
+            "noise",
+            "Figure 3(a): noise rate, path-profile based prediction",
+        ),
+        render_panel(
+            curves.panel("path-profile", zoom=True),
+            "noise",
+            "Figure 3(b): zoom <=10% profiled flow (path-profile)",
+        ),
+        render_panel(
+            curves.panel("net"),
+            "noise",
+            "Figure 3(c): noise rate, NET prediction",
+        ),
+        render_panel(
+            curves.panel("net", zoom=True),
+            "noise",
+            "Figure 3(d): zoom <=10% profiled flow (NET)",
+        ),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,92 @@
+"""Experiment registry: one entry per paper table/figure.
+
+``run_experiment(name)`` regenerates any table or figure and returns its
+text rendering; ``EXPERIMENT_IDS`` lists what is available.  The
+benchmark harness and the examples go through this registry so there is
+exactly one code path per experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.claims import evaluate_claims, render_claims
+from repro.experiments.data import benchmark_traces
+from repro.experiments.figure2 import build_figure2, render_figure2
+from repro.experiments.figure3 import build_figure3, render_figure3
+from repro.experiments.figure4 import build_figure4, render_figure4
+from repro.experiments.figure5 import (
+    bail_out_report,
+    build_figure5,
+    render_figure5,
+)
+from repro.experiments.phases import render_phase_report, run_phase_experiment
+from repro.experiments.table1 import build_table1, render_table1
+from repro.experiments.table2 import build_table2, render_table2
+
+
+def _run_table1(flow_scale: float) -> str:
+    return render_table1(build_table1(flow_scale=flow_scale))
+
+
+def _run_table2(flow_scale: float) -> str:
+    return render_table2(build_table2(flow_scale=flow_scale))
+
+
+def _run_figure2(flow_scale: float) -> str:
+    return render_figure2(build_figure2(flow_scale=flow_scale))
+
+
+def _run_figure3(flow_scale: float) -> str:
+    return render_figure3(build_figure3(flow_scale=flow_scale))
+
+
+def _run_figure4(flow_scale: float) -> str:
+    return render_figure4(build_figure4(flow_scale=flow_scale))
+
+
+def _run_figure5(flow_scale: float) -> str:
+    text = render_figure5(build_figure5(flow_scale=flow_scale))
+    bails = bail_out_report(flow_scale=flow_scale)
+    lines = [text, "", "Bail-outs (excluded from the figure, τ=50):"]
+    for run in bails:
+        lines.append("  " + run.render())
+    return "\n".join(lines)
+
+
+def _run_claims(flow_scale: float) -> str:
+    traces = benchmark_traces(flow_scale=flow_scale)
+    return render_claims(evaluate_claims(traces=traces))
+
+
+def _run_phases(flow_scale: float) -> str:
+    flow = max(int(400_000 * flow_scale), 20_000)
+    return render_phase_report(run_phase_experiment(flow=flow))
+
+
+EXPERIMENTS: dict[str, Callable[[float], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "figure2": _run_figure2,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "claims": _run_claims,
+    "phases": _run_phases,
+}
+
+#: Public list of regenerable experiments.
+EXPERIMENT_IDS = tuple(EXPERIMENTS)
+
+
+def run_experiment(name: str, flow_scale: float = 1.0) -> str:
+    """Regenerate one experiment and return its text rendering."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENT_IDS)
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {known}"
+        ) from None
+    return runner(flow_scale)

@@ -1,0 +1,65 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table."""
+    columns = [
+        [str(header)] + [str(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).rjust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(cell).rjust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Format a float with fixed digits."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """Format a percentage."""
+    return f"{value:.{digits}f}%"
+
+
+def fmt_signed_pct(value: float, digits: int = 1) -> str:
+    """Format a signed percentage (speedups)."""
+    return f"{value:+.{digits}f}%"
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """One named (x, y) series as aligned text."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {x:>10.3f}  {y:>10.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Table 2 — number of dynamic paths vs unique path heads.
+
+The counter-population comparison behind NET's space claim: one counter
+per unique path head (backward-taken-branch target) against one per
+dynamic path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.data import benchmark_traces
+from repro.experiments.report import render_table
+from repro.metrics.space import counter_space
+from repro.trace.recorder import PathTrace
+from repro.workloads.spec import BENCHMARK_ORDER, BENCHMARKS
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One benchmark's paths/heads counts, measured and paper."""
+
+    benchmark: str
+    num_paths: int
+    num_heads: int
+    paper_paths: int
+    paper_heads: int
+
+    @property
+    def ratio(self) -> float:
+        """Heads per path (Figure 4's bar value)."""
+        if self.num_paths == 0:
+            return 0.0
+        return self.num_heads / self.num_paths
+
+
+def table2_row(name: str, trace: PathTrace) -> Table2Row:
+    """Measure one benchmark's row."""
+    spec = BENCHMARKS[name]
+    space = counter_space(trace)
+    return Table2Row(
+        benchmark=name,
+        num_paths=space.num_paths,
+        num_heads=space.num_heads,
+        paper_paths=spec.paper_paths,
+        paper_heads=spec.paper_heads,
+    )
+
+
+def build_table2(
+    traces: dict[str, PathTrace] | None = None,
+    flow_scale: float = 1.0,
+) -> list[Table2Row]:
+    """All nine rows, in the paper's order."""
+    if traces is None:
+        traces = benchmark_traces(flow_scale=flow_scale)
+    return [
+        table2_row(name, traces[name])
+        for name in BENCHMARK_ORDER
+        if name in traces
+    ]
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """The regenerated Table 2 as text."""
+    return render_table(
+        headers=[
+            "benchmark",
+            "#paths",
+            "(paper)",
+            "#unique heads",
+            "(paper)",
+        ],
+        rows=[
+            [
+                row.benchmark,
+                f"{row.num_paths:,}",
+                f"{row.paper_paths:,}",
+                f"{row.num_heads:,}",
+                f"{row.paper_heads:,}",
+            ]
+            for row in rows
+        ],
+        title="Table 2: number of paths and unique path heads",
+    )

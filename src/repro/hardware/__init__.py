@@ -1,0 +1,33 @@
+"""Hardware prediction schemes from the paper's related work (§7).
+
+Branch-direction predictors (static, bimodal, gshare, two-level
+adaptive) and a trace-cache model, all consuming the same branch-event
+streams as the software profilers — so one trace quantifies both the
+hardware schemes' per-branch accuracy and the software schemes' hot-path
+quality, making the paper's "different problem, invisible state"
+argument measurable.
+"""
+
+from repro.hardware.branch_predictors import (
+    BimodalPredictor,
+    BranchPredictionStats,
+    BranchPredictor,
+    GSharePredictor,
+    StaticTakenPredictor,
+    TwoLevelAdaptivePredictor,
+    compare_branch_predictors,
+)
+from repro.hardware.trace_cache import TraceCache, TraceCacheStats, TraceLine
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictionStats",
+    "BranchPredictor",
+    "GSharePredictor",
+    "StaticTakenPredictor",
+    "TraceCache",
+    "TraceCacheStats",
+    "TraceLine",
+    "TwoLevelAdaptivePredictor",
+    "compare_branch_predictors",
+]

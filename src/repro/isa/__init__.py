@@ -1,0 +1,38 @@
+"""The reproduction's register machine: ISA, assembler, interpreter.
+
+Real programs (see :mod:`repro.isa.programs`) run on :class:`Machine`,
+which emits the branch-event stream the trace subsystem consumes — the
+"emulation" profiling channel of the paper's Dynamo system.
+"""
+
+from repro.isa.assembler import AssembledProgram, Assembler, assemble
+from repro.isa.instructions import (
+    ALU_OPS,
+    BLOCK_TERMINATORS,
+    COND_BRANCHES,
+    NUM_REGISTERS,
+    Instruction,
+    Op,
+)
+from repro.isa.machine import (
+    DEFAULT_MEMORY_WORDS,
+    Machine,
+    MachineState,
+    run_to_completion,
+)
+
+__all__ = [
+    "ALU_OPS",
+    "AssembledProgram",
+    "Assembler",
+    "BLOCK_TERMINATORS",
+    "COND_BRANCHES",
+    "DEFAULT_MEMORY_WORDS",
+    "Instruction",
+    "Machine",
+    "MachineState",
+    "NUM_REGISTERS",
+    "Op",
+    "assemble",
+    "run_to_completion",
+]

@@ -1,0 +1,112 @@
+"""Instruction set of the reproduction's register machine.
+
+A deliberately small RISC-flavoured ISA — enough to write real, loopy
+programs (interpreters, compressors, solvers) whose executions exercise
+every path-profiling code path: conditional branches, unconditional and
+indirect jumps, direct and indirect calls, returns.
+
+The machine has 16 general registers (``r0``–``r15``), a flat word
+memory, a call stack, and an output buffer.  One instruction occupies one
+address unit, so CFG addresses equal instruction indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.Enum):
+    """Instruction opcodes."""
+
+    # Data movement / arithmetic
+    LI = "li"        # li rd, imm
+    LA = "la"        # la rd, label       (load label address)
+    MOV = "mov"      # mov rd, rs
+    ADD = "add"      # add rd, rs, rt
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    ADDI = "addi"    # addi rd, rs, imm
+    # Memory
+    LD = "ld"        # ld rd, rs, offset   (rd = mem[rs + offset])
+    ST = "st"        # st rs, rt, offset   (mem[rt + offset] = rs)
+    # Control flow
+    BEQ = "beq"      # beq rs, rt, label
+    BNE = "bne"
+    BLT = "blt"
+    BLE = "ble"
+    BGT = "bgt"
+    BGE = "bge"
+    JMP = "jmp"      # jmp label
+    JR = "jr"        # jr rs               (indirect jump)
+    CALL = "call"    # call label
+    CALLR = "callr"  # callr rs            (indirect call)
+    RET = "ret"
+    HALT = "halt"
+    # I/O
+    OUT = "out"      # out rs              (append to output buffer)
+    NOP = "nop"
+
+
+#: Conditional branch opcodes and their comparison semantics.
+COND_BRANCHES: dict[Op, str] = {
+    Op.BEQ: "==",
+    Op.BNE: "!=",
+    Op.BLT: "<",
+    Op.BLE: "<=",
+    Op.BGT: ">",
+    Op.BGE: ">=",
+}
+
+#: Opcodes that end a basic block.
+BLOCK_TERMINATORS = frozenset(
+    set(COND_BRANCHES)
+    | {Op.JMP, Op.JR, Op.CALL, Op.CALLR, Op.RET, Op.HALT}
+)
+
+#: Three-register ALU opcodes.
+ALU_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR}
+)
+
+#: Number of general registers.
+NUM_REGISTERS = 16
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction.
+
+    ``target`` holds the resolved instruction index for direct control
+    transfers and ``la``; ``label`` keeps the symbolic name for error
+    messages and disassembly.
+    """
+
+    op: Op
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    imm: int | None = None
+    label: str | None = None
+    target: int | None = None
+    #: Source line, for diagnostics.
+    line: int = 0
+
+    def render(self) -> str:
+        """Disassembled form."""
+        parts = [self.op.value]
+        for reg in (self.rd, self.rs, self.rt):
+            if reg is not None:
+                parts.append(f"r{reg}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.label is not None:
+            parts.append(self.label)
+        return " ".join(parts)

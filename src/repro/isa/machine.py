@@ -1,0 +1,245 @@
+"""Interpreter for the reproduction's register machine.
+
+The machine executes an :class:`repro.isa.AssembledProgram` and *emits a
+branch event for every control transfer* — including fall-throughs across
+block boundaries — so its event stream feeds the path extractor exactly
+like the CFG walker's.  This is the "emulation" profiling channel the
+paper describes: a system like Dynamo observes the program through
+interpretation and collects NET counters for free while doing so.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.cfg.edge import EdgeKind
+from repro.errors import MachineError, MachineLimitExceeded
+from repro.isa.assembler import AssembledProgram
+from repro.isa.instructions import COND_BRANCHES, NUM_REGISTERS, Op
+from repro.trace.events import BranchEvent, halt_event
+
+#: Default data memory size in words.
+DEFAULT_MEMORY_WORDS = 1 << 16
+
+
+@dataclass
+class MachineState:
+    """Mutable machine state, exposed for tests and debugging."""
+
+    registers: list[int] = field(
+        default_factory=lambda: [0] * NUM_REGISTERS
+    )
+    memory: list[int] = field(default_factory=list)
+    call_stack: list[int] = field(default_factory=list)
+    output: list[int] = field(default_factory=list)
+    pc: int = 0
+    steps: int = 0
+
+
+class Machine:
+    """Executes an assembled program, yielding branch events.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to run.
+    memory_words:
+        Size of data memory; ``memory`` parameter of :meth:`run` may
+        pre-populate a prefix of it (program input).
+    """
+
+    def __init__(
+        self,
+        program: AssembledProgram,
+        memory_words: int = DEFAULT_MEMORY_WORDS,
+    ):
+        self.program = program
+        self.memory_words = memory_words
+        self.state = MachineState(memory=[0] * memory_words)
+
+    # ------------------------------------------------------------------
+    def load_memory(self, values: list[int], base: int = 0) -> None:
+        """Copy ``values`` into memory starting at ``base``."""
+        if base < 0 or base + len(values) > self.memory_words:
+            raise MachineError("initial memory image does not fit")
+        self.state.memory[base : base + len(values)] = list(values)
+
+    def run(self, max_steps: int = 10_000_000) -> Iterator[BranchEvent]:
+        """Execute until HALT, yielding one event per control transfer.
+
+        Raises :class:`MachineLimitExceeded` if the step budget runs out
+        and :class:`MachineError` on faults (bad addresses, division by
+        zero, return with an empty call stack, …).
+        """
+        state = self.state
+        program = self.program
+        instructions = program.instructions
+        block_of = program.block_of
+        regs = state.registers
+        memory = state.memory
+
+        def event(dst_index: int, kind: EdgeKind) -> BranchEvent:
+            src_block = block_of[state.pc]
+            dst_block = block_of[dst_index]
+            backward = (
+                kind not in (EdgeKind.FALLTHROUGH, EdgeKind.STRAIGHT)
+                and dst_index <= state.pc
+            )
+            return BranchEvent(
+                src=src_block, dst=dst_block, kind=kind, backward=backward
+            )
+
+        while True:
+            if state.steps >= max_steps:
+                raise MachineLimitExceeded(state.steps)
+            if not 0 <= state.pc < len(instructions):
+                raise MachineError(f"pc {state.pc} outside the program")
+            instr = instructions[state.pc]
+            state.steps += 1
+            op = instr.op
+
+            if op in COND_BRANCHES:
+                if self._compare(op, regs[instr.rs], regs[instr.rt]):
+                    yield event(instr.target, EdgeKind.TAKEN)
+                    state.pc = instr.target
+                else:
+                    yield event(state.pc + 1, EdgeKind.FALLTHROUGH)
+                    state.pc += 1
+                continue
+            if op is Op.JMP:
+                yield event(instr.target, EdgeKind.JUMP)
+                state.pc = instr.target
+                continue
+            if op is Op.JR:
+                target = regs[instr.rs]
+                self._check_leader(target, "jr")
+                yield event(target, EdgeKind.INDIRECT)
+                state.pc = target
+                continue
+            if op is Op.CALL:
+                state.call_stack.append(state.pc + 1)
+                yield event(instr.target, EdgeKind.CALL)
+                state.pc = instr.target
+                continue
+            if op is Op.CALLR:
+                target = regs[instr.rs]
+                self._check_leader(target, "callr")
+                state.call_stack.append(state.pc + 1)
+                yield event(target, EdgeKind.CALL)
+                state.pc = target
+                continue
+            if op is Op.RET:
+                if not state.call_stack:
+                    yield halt_event(block_of[state.pc])
+                    return
+                target = state.call_stack.pop()
+                yield event(target, EdgeKind.RETURN)
+                state.pc = target
+                continue
+            if op is Op.HALT:
+                yield halt_event(block_of[state.pc])
+                return
+
+            self._execute_straightline(instr, regs, memory)
+            next_pc = state.pc + 1
+            if next_pc >= len(instructions):
+                raise MachineError("execution ran past the last instruction")
+            if block_of[next_pc] != block_of[state.pc]:
+                yield event(next_pc, EdgeKind.STRAIGHT)
+            state.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def _check_leader(self, target: int, what: str) -> None:
+        if not 0 <= target < len(self.program.instructions):
+            raise MachineError(f"{what} target {target} outside the program")
+        if self.program.leader_of.get(self.program.block_of[target]) != target:
+            raise MachineError(
+                f"{what} target {target} is not a basic-block leader"
+            )
+
+    @staticmethod
+    def _compare(op: Op, a: int, b: int) -> bool:
+        if op is Op.BEQ:
+            return a == b
+        if op is Op.BNE:
+            return a != b
+        if op is Op.BLT:
+            return a < b
+        if op is Op.BLE:
+            return a <= b
+        if op is Op.BGT:
+            return a > b
+        return a >= b  # BGE
+
+    def _execute_straightline(self, instr, regs, memory) -> None:
+        op = instr.op
+        if op is Op.LI:
+            regs[instr.rd] = instr.imm
+        elif op is Op.LA:
+            regs[instr.rd] = instr.target
+        elif op is Op.MOV:
+            regs[instr.rd] = regs[instr.rs]
+        elif op is Op.ADD:
+            regs[instr.rd] = regs[instr.rs] + regs[instr.rt]
+        elif op is Op.SUB:
+            regs[instr.rd] = regs[instr.rs] - regs[instr.rt]
+        elif op is Op.MUL:
+            regs[instr.rd] = regs[instr.rs] * regs[instr.rt]
+        elif op is Op.DIV:
+            if regs[instr.rt] == 0:
+                raise MachineError(
+                    f"division by zero at instruction {self.state.pc}"
+                )
+            regs[instr.rd] = regs[instr.rs] // regs[instr.rt]
+        elif op is Op.MOD:
+            if regs[instr.rt] == 0:
+                raise MachineError(
+                    f"modulo by zero at instruction {self.state.pc}"
+                )
+            regs[instr.rd] = regs[instr.rs] % regs[instr.rt]
+        elif op is Op.AND:
+            regs[instr.rd] = regs[instr.rs] & regs[instr.rt]
+        elif op is Op.OR:
+            regs[instr.rd] = regs[instr.rs] | regs[instr.rt]
+        elif op is Op.XOR:
+            regs[instr.rd] = regs[instr.rs] ^ regs[instr.rt]
+        elif op is Op.SHL:
+            regs[instr.rd] = regs[instr.rs] << (regs[instr.rt] & 63)
+        elif op is Op.SHR:
+            regs[instr.rd] = regs[instr.rs] >> (regs[instr.rt] & 63)
+        elif op is Op.ADDI:
+            regs[instr.rd] = regs[instr.rs] + instr.imm
+        elif op is Op.LD:
+            address = regs[instr.rs] + instr.imm
+            self._check_memory(address)
+            regs[instr.rd] = memory[address]
+        elif op is Op.ST:
+            address = regs[instr.rt] + instr.imm
+            self._check_memory(address)
+            memory[address] = regs[instr.rs]
+        elif op is Op.OUT:
+            self.state.output.append(regs[instr.rs])
+        elif op is Op.NOP:
+            pass
+        else:  # pragma: no cover - control ops handled in run()
+            raise MachineError(f"unexpected opcode {op.value!r}")
+
+    def _check_memory(self, address: int) -> None:
+        if not 0 <= address < self.memory_words:
+            raise MachineError(
+                f"memory access at {address} outside 0..{self.memory_words - 1}"
+            )
+
+
+def run_to_completion(
+    program: AssembledProgram,
+    memory_image: list[int] | None = None,
+    max_steps: int = 10_000_000,
+) -> tuple[list[BranchEvent], Machine]:
+    """Run a program and return (events, machine) for inspection."""
+    machine = Machine(program)
+    if memory_image:
+        machine.load_memory(memory_image)
+    events = list(machine.run(max_steps=max_steps))
+    return events, machine

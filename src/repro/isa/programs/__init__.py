@@ -1,0 +1,56 @@
+"""Real programs written in the reproduction's ISA.
+
+Five genuinely loopy programs stand in for the workload classes the
+paper's benchmark suite motivates:
+
+* :mod:`~repro.isa.programs.rle` — a run-length compressor with a
+  verification pass (compress-like: one dominant inner loop);
+* :mod:`~repro.isa.programs.stackvm` — a bytecode interpreter with an
+  indirect dispatch table (li/perl-like: interpreter loop, many paths
+  through one head);
+* :mod:`~repro.isa.programs.propagate` — an iterative constraint
+  propagation solver (deltablue-like: sweep loops to a fixpoint);
+* :mod:`~repro.isa.programs.sort` — insertion sort (data-dependent
+  nested loops);
+* :mod:`~repro.isa.programs.matmul` — matrix multiply (regular nests);
+* :mod:`~repro.isa.programs.hashtable` — open-addressing hash table
+  (vortex-like: dispatch + probe loops, many warm paths);
+* :mod:`~repro.isa.programs.lexer` — a tokenizer (gcc-front-end-like:
+  class dispatch + run-consuming loops).
+
+Each module exposes ``SOURCE`` (the assembly text), ``build()``
+(assembled program), ``make_memory(...)`` (an input image) and
+``reference(...)`` (the expected ``out`` values, computed in Python), so
+tests can assert end-to-end machine correctness.
+"""
+
+from repro.isa.programs import (
+    hashtable,
+    lexer,
+    matmul,
+    propagate,
+    rle,
+    sort,
+    stackvm,
+)
+
+ALL_PROGRAMS = {
+    "rle": rle,
+    "stackvm": stackvm,
+    "propagate": propagate,
+    "sort": sort,
+    "matmul": matmul,
+    "hashtable": hashtable,
+    "lexer": lexer,
+}
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "hashtable",
+    "lexer",
+    "matmul",
+    "propagate",
+    "rle",
+    "sort",
+    "stackvm",
+]

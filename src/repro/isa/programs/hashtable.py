@@ -1,0 +1,127 @@
+"""Open-addressing hash table (vortex-like workload).
+
+Processes a stream of insert/lookup operations against a linear-probe
+hash table.  Database-manipulation codes like vortex spend their time in
+exactly this shape: a dispatch loop over operations, a data-dependent
+probe loop per operation, and many moderately-hot paths instead of one
+dominant kernel.
+
+Memory layout: ``mem[0]`` = number of operations; operations at
+:data:`OP_BASE` as ``(kind, key)`` pairs (kind 0 = insert, 1 = lookup);
+the table occupies :data:`TABLE_BASE` … ``TABLE_BASE + TABLE_SIZE - 1``
+storing ``key + 1`` (0 means empty).  Output: number of successful
+lookups, then the total number of probe steps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+OP_BASE = 2048
+TABLE_BASE = 16384
+TABLE_SIZE = 1024
+
+SOURCE = f"""
+.proc main
+    li   r0, 0
+    ld   r1, r0, 0          # n ops
+    li   r2, 0              # op index
+    li   r13, 0             # found count
+    li   r14, 0             # probe count
+op_loop:
+    bge  r2, r1, done
+    li   r3, 2
+    mul  r4, r2, r3
+    li   r3, {OP_BASE}
+    add  r4, r4, r3
+    ld   r5, r4, 0          # kind
+    ld   r6, r4, 1          # key
+    li   r7, {TABLE_SIZE}
+    mod  r8, r6, r7         # slot = key % SIZE
+    li   r9, 0              # probes this op
+probe:
+    addi r14, r14, 1
+    addi r9, r9, 1
+    bgt  r9, r7, next_op    # table full / not found after SIZE probes
+    li   r10, {TABLE_BASE}
+    add  r10, r10, r8
+    ld   r11, r10, 0        # slot contents (key+1 or 0)
+    beq  r11, r0, slot_empty
+    addi r12, r6, 1
+    beq  r11, r12, slot_match
+    addi r8, r8, 1          # linear probe
+    li   r12, {TABLE_SIZE}
+    mod  r8, r8, r12
+    jmp  probe
+slot_empty:
+    bne  r5, r0, next_op    # lookup miss
+    addi r12, r6, 1         # insert key+1
+    st   r12, r10, 0
+    jmp  next_op
+slot_match:
+    beq  r5, r0, next_op    # duplicate insert: already present
+    addi r13, r13, 1        # lookup hit
+next_op:
+    addi r2, r2, 1
+    jmp  op_loop
+done:
+    out  r13
+    out  r14
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the hash-table workload."""
+    return assemble(SOURCE, name="hashtable")
+
+
+def make_memory(
+    seed: int = 0,
+    num_ops: int = 1500,
+    key_space: int = 700,
+    lookup_ratio: float = 0.6,
+) -> list[int]:
+    """A random operation stream's memory image.
+
+    ``key_space`` below :data:`TABLE_SIZE` keeps the load factor sane.
+    """
+    rng = random.Random(seed)
+    image = [0] * (OP_BASE + 2 * num_ops)
+    image[0] = num_ops
+    for index in range(num_ops):
+        kind = 1 if rng.random() < lookup_ratio else 0
+        key = rng.randrange(key_space)
+        image[OP_BASE + 2 * index] = kind
+        image[OP_BASE + 2 * index + 1] = key
+    return image
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` values (found count, probe count)."""
+    num_ops = memory[0]
+    table = [0] * TABLE_SIZE
+    found = 0
+    probes = 0
+    for index in range(num_ops):
+        kind = memory[OP_BASE + 2 * index]
+        key = memory[OP_BASE + 2 * index + 1]
+        slot = key % TABLE_SIZE
+        for _ in range(TABLE_SIZE):
+            probes += 1
+            value = table[slot]
+            if value == 0:
+                if kind == 0:
+                    table[slot] = key + 1
+                break
+            if value == key + 1:
+                if kind == 1:
+                    found += 1
+                break
+            slot = (slot + 1) % TABLE_SIZE
+        else:
+            probes += 1  # the bgt exit consumes one extra probe count
+    return [found, probes]

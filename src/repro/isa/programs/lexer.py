@@ -1,0 +1,124 @@
+"""A tokenizer (front-end-like workload).
+
+Scans a character-class stream and produces token counts: numbers (runs
+of digits), identifiers (a letter followed by letters/digits), and
+punctuation (single characters); whitespace separates tokens.  Compiler
+front ends like gcc's lexer have this shape — a dispatch on the current
+character class plus run-consuming inner loops — producing many
+short, correlated paths.
+
+Character classes (one word per character): 0 = whitespace, 1 = digit,
+2 = letter, 3 = punctuation.
+
+Memory layout: ``mem[0]`` = n, classes at ``mem[1..n]``.  Output: number
+of number tokens, identifier tokens, punctuation tokens.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+SOURCE = """
+.proc main
+    li   r0, 0
+    ld   r1, r0, 0          # n
+    li   r2, 1              # cursor
+    addi r3, r1, 1          # end
+    li   r13, 0             # numbers
+    li   r14, 0             # identifiers
+    li   r15, 0             # punctuation
+scan:
+    bge  r2, r3, done
+    ld   r4, r2, 0          # class
+    li   r5, 1
+    beq  r4, r0, skip_space
+    beq  r4, r5, number
+    li   r5, 2
+    beq  r4, r5, identifier
+    addi r15, r15, 1        # punctuation token
+    addi r2, r2, 1
+    jmp  scan
+skip_space:
+    addi r2, r2, 1
+    jmp  scan
+number:
+    addi r13, r13, 1
+num_run:
+    addi r2, r2, 1
+    bge  r2, r3, scan
+    ld   r4, r2, 0
+    li   r5, 1
+    beq  r4, r5, num_run
+    jmp  scan
+identifier:
+    addi r14, r14, 1
+id_run:
+    addi r2, r2, 1
+    bge  r2, r3, scan
+    ld   r4, r2, 0
+    li   r5, 1
+    beq  r4, r5, id_run     # digits continue an identifier
+    li   r5, 2
+    beq  r4, r5, id_run
+    jmp  scan
+done:
+    out  r13
+    out  r14
+    out  r15
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the tokenizer."""
+    return assemble(SOURCE, name="lexer")
+
+
+def make_memory(seed: int = 0, size: int = 4000) -> list[int]:
+    """A plausible token-stream image: words, numbers, punctuation."""
+    rng = random.Random(seed)
+    classes: list[int] = []
+    while len(classes) < size:
+        roll = rng.random()
+        if roll < 0.35:  # identifier
+            classes.append(2)
+            classes.extend(
+                rng.choice((1, 2)) for _ in range(rng.randint(0, 7))
+            )
+        elif roll < 0.55:  # number
+            classes.extend([1] * rng.randint(1, 5))
+        elif roll < 0.75:  # punctuation
+            classes.append(3)
+        else:  # whitespace
+            classes.extend([0] * rng.randint(1, 3))
+    classes = classes[:size]
+    return [size] + classes
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` values: (numbers, identifiers, punctuation)."""
+    n = memory[0]
+    classes = memory[1 : n + 1]
+    numbers = identifiers = punctuation = 0
+    cursor = 0
+    while cursor < n:
+        klass = classes[cursor]
+        if klass == 0:
+            cursor += 1
+        elif klass == 1:
+            numbers += 1
+            cursor += 1
+            while cursor < n and classes[cursor] == 1:
+                cursor += 1
+        elif klass == 2:
+            identifiers += 1
+            cursor += 1
+            while cursor < n and classes[cursor] in (1, 2):
+                cursor += 1
+        else:
+            punctuation += 1
+            cursor += 1
+    return [numbers, identifiers, punctuation]

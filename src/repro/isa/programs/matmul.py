@@ -1,0 +1,111 @@
+"""Matrix multiply (regular loop nests).
+
+Computes ``C = A × B`` for k×k integer matrices and emits a checksum.
+The three-deep regular nest is the compiler-kernel counterpart of the
+surrogates' nested regions: almost all flow sits on one innermost path.
+
+Memory layout: ``mem[0]`` = k; A at :data:`A_BASE`, B at :data:`B_BASE`
+row-major; C written at :data:`C_BASE`.  Output: sum of C's entries
+(mod 2^31 to stay bounded).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+A_BASE = 1024
+B_BASE = 9216
+C_BASE = 17408
+CHECKSUM_MOD = 1 << 31
+
+SOURCE = f"""
+.proc main
+    li   r0, 0
+    ld   r1, r0, 0          # k
+    li   r2, 0              # i
+loop_i:
+    bge  r2, r1, checksum
+    li   r3, 0              # j
+loop_j:
+    bge  r3, r1, next_i
+    li   r4, 0              # acc
+    li   r5, 0              # l
+loop_l:
+    bge  r5, r1, store_c
+    mul  r6, r2, r1
+    add  r6, r6, r5
+    li   r7, {A_BASE}
+    add  r6, r6, r7
+    ld   r8, r6, 0          # A[i][l]
+    mul  r6, r5, r1
+    add  r6, r6, r3
+    li   r7, {B_BASE}
+    add  r6, r6, r7
+    ld   r9, r6, 0          # B[l][j]
+    mul  r8, r8, r9
+    add  r4, r4, r8
+    addi r5, r5, 1
+    jmp  loop_l
+store_c:
+    mul  r6, r2, r1
+    add  r6, r6, r3
+    li   r7, {C_BASE}
+    add  r6, r6, r7
+    st   r4, r6, 0
+    addi r3, r3, 1
+    jmp  loop_j
+next_i:
+    addi r2, r2, 1
+    jmp  loop_i
+checksum:
+    mul  r10, r1, r1        # k*k entries
+    li   r11, 0             # index
+    li   r12, 0             # sum
+sum_loop:
+    bge  r11, r10, emit
+    li   r7, {C_BASE}
+    add  r6, r7, r11
+    ld   r8, r6, 0
+    add  r12, r12, r8
+    li   r9, {CHECKSUM_MOD}
+    mod  r12, r12, r9
+    addi r11, r11, 1
+    jmp  sum_loop
+emit:
+    out  r12
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the kernel."""
+    return assemble(SOURCE, name="matmul")
+
+
+def make_memory(seed: int = 0, k: int = 12, span: int = 100) -> list[int]:
+    """A memory image with two random k×k matrices."""
+    rng = random.Random(seed)
+    image = [0] * (C_BASE + k * k)
+    image[0] = k
+    for index in range(k * k):
+        image[A_BASE + index] = rng.randrange(span)
+        image[B_BASE + index] = rng.randrange(span)
+    return image
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` value: the checksum of C."""
+    k = memory[0]
+    a = memory[A_BASE : A_BASE + k * k]
+    b = memory[B_BASE : B_BASE + k * k]
+    checksum = 0
+    for i in range(k):
+        for j in range(k):
+            acc = 0
+            for l in range(k):
+                acc += a[i * k + l] * b[l * k + j]
+            checksum = (checksum + acc) % CHECKSUM_MOD
+    return [checksum]

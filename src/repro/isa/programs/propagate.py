@@ -1,0 +1,115 @@
+"""Iterative constraint propagation (deltablue-like workload).
+
+A pool of ternary constraints ``value[d] = (value[s1] + value[s2]) mod M``
+is swept repeatedly; each sweep applies every constraint and counts how
+many values changed.  Execution stops after a fixed number of sweeps,
+like an incremental solver replanning a constraint graph — nested loops
+with data-dependent branches (changed vs unchanged) inside.
+
+Memory layout: ``mem[0]`` = number of variables, ``mem[1]`` = number of
+constraints, ``mem[2]`` = number of sweeps; variable values at
+:data:`VALUE_BASE`; constraints as ``(dst, src1, src2)`` triples at
+:data:`CONSTRAINT_BASE`.  Output: total number of value changes across
+all sweeps, then the final value of variable 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+VALUE_BASE = 300
+CONSTRAINT_BASE = 2048
+MODULUS = 997
+
+SOURCE = f"""
+.proc main
+    li   r0, 0
+    ld   r1, r0, 1          # C = number of constraints
+    ld   r2, r0, 2          # S = sweeps
+    li   r13, 0             # total changes
+    li   r14, 0             # sweep counter
+sweep:
+    bge  r14, r2, done
+    li   r3, 0              # constraint index
+body:
+    bge  r3, r1, sweep_end
+    li   r4, 3
+    mul  r5, r3, r4
+    li   r6, {CONSTRAINT_BASE}
+    add  r5, r5, r6         # triple address
+    ld   r7, r5, 0          # dst
+    ld   r8, r5, 1          # src1
+    ld   r9, r5, 2          # src2
+    li   r6, {VALUE_BASE}
+    add  r8, r8, r6
+    ld   r10, r8, 0         # value[src1]
+    add  r9, r9, r6
+    ld   r11, r9, 0         # value[src2]
+    add  r10, r10, r11      # sum
+    li   r11, {MODULUS}
+    mod  r10, r10, r11      # new value
+    add  r7, r7, r6
+    ld   r12, r7, 0         # old value
+    beq  r12, r10, no_change
+    st   r10, r7, 0
+    addi r13, r13, 1
+no_change:
+    addi r3, r3, 1
+    jmp  body
+sweep_end:
+    addi r14, r14, 1
+    jmp  sweep
+done:
+    out  r13                # total changes
+    li   r6, {VALUE_BASE}
+    ld   r7, r6, 0
+    out  r7                 # final value[0]
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the solver."""
+    return assemble(SOURCE, name="propagate")
+
+
+def make_memory(
+    seed: int = 0,
+    num_vars: int = 40,
+    num_constraints: int = 60,
+    sweeps: int = 25,
+) -> list[int]:
+    """A random constraint system's memory image."""
+    rng = random.Random(seed)
+    image = [0] * (CONSTRAINT_BASE + 3 * num_constraints)
+    image[0] = num_vars
+    image[1] = num_constraints
+    image[2] = sweeps
+    for index in range(num_vars):
+        image[VALUE_BASE + index] = rng.randrange(MODULUS)
+    for index in range(num_constraints):
+        base = CONSTRAINT_BASE + 3 * index
+        image[base] = rng.randrange(num_vars)
+        image[base + 1] = rng.randrange(num_vars)
+        image[base + 2] = rng.randrange(num_vars)
+    return image
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` values for a memory image."""
+    num_constraints = memory[1]
+    sweeps = memory[2]
+    values = list(memory[VALUE_BASE : VALUE_BASE + memory[0]])
+    total_changes = 0
+    for _ in range(sweeps):
+        for index in range(num_constraints):
+            base = CONSTRAINT_BASE + 3 * index
+            dst, s1, s2 = memory[base], memory[base + 1], memory[base + 2]
+            new_value = (values[s1] + values[s2]) % MODULUS
+            if values[dst] != new_value:
+                values[dst] = new_value
+                total_changes += 1
+    return [total_changes, values[0]]

@@ -1,0 +1,99 @@
+"""Run-length compressor (compress-like workload).
+
+Scans the input once, collapsing runs of equal values into
+``(value, count)`` pairs, then re-walks the compressed stream to verify
+that the counts add back up to the input length.  The inner run-scanning
+loop dominates execution the way compress's code loop dominates SPEC's
+compress — one hot head with a couple of dominant tails.
+
+Memory layout: ``mem[0]`` = input length ``n``; input values at
+``mem[1..n]``; compressed pairs written from :data:`OUT_BASE`.
+Output (via ``out``): number of runs, then the verified total length.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+#: Where the compressed (value, count) pairs are written.
+OUT_BASE = 32768
+
+SOURCE = f"""
+.proc main
+    li   r0, 0
+    ld   r1, r0, 0          # n
+    li   r2, 1              # read index
+    li   r3, {OUT_BASE}     # write index
+    addi r5, r1, 1          # end = n + 1
+    li   r13, 0             # run count
+scan:
+    bge  r2, r5, emit_done
+    ld   r6, r2, 0          # run value
+    addi r7, r2, 1          # runner
+    li   r8, 1              # run length
+run:
+    bge  r7, r5, run_done
+    ld   r9, r7, 0
+    bne  r9, r6, run_done
+    addi r7, r7, 1
+    addi r8, r8, 1
+    jmp  run
+run_done:
+    st   r6, r3, 0          # store value
+    st   r8, r3, 1          # store count
+    addi r3, r3, 2
+    addi r13, r13, 1
+    mov  r2, r7
+    jmp  scan
+emit_done:
+    out  r13                # number of runs
+    li   r10, {OUT_BASE}
+    li   r11, 0             # total decoded length
+verify:
+    bge  r10, r3, verify_done
+    ld   r12, r10, 1
+    add  r11, r11, r12
+    addi r10, r10, 2
+    jmp  verify
+verify_done:
+    out  r11                # must equal n
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the compressor."""
+    return assemble(SOURCE, name="rle")
+
+
+def make_memory(seed: int = 0, size: int = 2000, alphabet: int = 4) -> list[int]:
+    """A runs-heavy random input image: ``[n, v1..vn]``.
+
+    Small alphabets produce long runs (the compress-friendly case).
+    """
+    rng = random.Random(seed)
+    values = []
+    while len(values) < size:
+        run = rng.randint(1, 9)
+        value = rng.randrange(alphabet)
+        values.extend([value] * run)
+    values = values[:size]
+    return [size] + values
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` values for an input image."""
+    n = memory[0]
+    values = memory[1 : n + 1]
+    runs = 0
+    index = 0
+    while index < n:
+        runner = index + 1
+        while runner < n and values[runner] == values[index]:
+            runner += 1
+        runs += 1
+        index = runner
+    return [runs, n]

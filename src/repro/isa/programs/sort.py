@@ -1,0 +1,87 @@
+"""Insertion sort (data-dependent nested loops).
+
+Sorts the input in place and then verifies sortedness with a final scan.
+The inner shift loop's trip count depends on the data, producing the
+variable-length paths that stress the extractor's length accounting.
+
+Memory layout: ``mem[0]`` = n, values at ``mem[1..n]``.
+Output: number of element shifts, then 1 if sorted else 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+SOURCE = """
+.proc main
+    li   r0, 0
+    ld   r1, r0, 0          # n
+    li   r2, 2              # i = 2 (first unsorted index, 1-based data)
+    addi r3, r1, 1          # end = n + 1
+    li   r13, 0             # shift counter
+outer:
+    bge  r2, r3, check
+    ld   r4, r2, 0          # key = mem[i]
+    mov  r5, r2             # j = i
+inner:
+    li   r6, 1
+    ble  r5, r6, place      # while j > 1
+    addi r7, r5, -1
+    ld   r8, r7, 0          # mem[j-1]
+    ble  r8, r4, place      # and mem[j-1] > key
+    st   r8, r5, 0          # shift right
+    addi r13, r13, 1
+    mov  r5, r7
+    jmp  inner
+place:
+    st   r4, r5, 0
+    addi r2, r2, 1
+    jmp  outer
+check:
+    out  r13
+    li   r2, 2
+    li   r9, 1              # sorted flag
+verify:
+    bge  r2, r3, done
+    addi r7, r2, -1
+    ld   r8, r7, 0
+    ld   r4, r2, 0
+    ble  r8, r4, ok
+    li   r9, 0
+ok:
+    addi r2, r2, 1
+    jmp  verify
+done:
+    out  r9
+    halt
+.endproc
+"""
+
+
+def build() -> AssembledProgram:
+    """Assemble the sorter."""
+    return assemble(SOURCE, name="sort")
+
+
+def make_memory(seed: int = 0, size: int = 200, span: int = 1000) -> list[int]:
+    """A random input image: ``[n, v1..vn]``."""
+    rng = random.Random(seed)
+    return [size] + [rng.randrange(span) for _ in range(size)]
+
+
+def reference(memory: list[int]) -> list[int]:
+    """Expected ``out`` values: (shift count, sorted flag)."""
+    n = memory[0]
+    values = list(memory[1 : n + 1])
+    shifts = 0
+    for i in range(1, n):
+        key = values[i]
+        j = i
+        while j > 0 and values[j - 1] > key:
+            values[j] = values[j - 1]
+            shifts += 1
+            j -= 1
+        values[j] = key
+    return [shifts, 1]

@@ -1,0 +1,40 @@
+"""Abstract prediction-quality metrics (paper §3 and §5).
+
+Hot sets (:func:`hot_path_set`), hit/noise/MOC scoring
+(:func:`evaluate_prediction`), and counter-space accounting
+(:func:`counter_space`).
+"""
+
+from repro.metrics.hotpaths import (
+    DEFAULT_HOT_FRACTION,
+    HotPathSet,
+    hot_path_set,
+    hot_path_set_absolute,
+)
+from repro.metrics.quality import PredictionQuality, evaluate_prediction
+from repro.metrics.space import CounterSpace, counter_space
+from repro.metrics.windowed import (
+    FlushOnSpike,
+    NeverRetire,
+    RetireIdle,
+    RetirementPolicy,
+    WindowedQuality,
+    evaluate_windowed,
+)
+
+__all__ = [
+    "DEFAULT_HOT_FRACTION",
+    "CounterSpace",
+    "FlushOnSpike",
+    "HotPathSet",
+    "NeverRetire",
+    "PredictionQuality",
+    "RetireIdle",
+    "RetirementPolicy",
+    "WindowedQuality",
+    "counter_space",
+    "evaluate_prediction",
+    "evaluate_windowed",
+    "hot_path_set",
+    "hot_path_set_absolute",
+]

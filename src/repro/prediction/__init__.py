@@ -1,0 +1,35 @@
+"""Online hot-path prediction schemes.
+
+* :class:`PathProfilePredictor` — full path profiling with a prediction
+  threshold (the paper's "path profile based prediction");
+* :class:`NETPredictor` — the paper's contribution: head counters plus
+  speculative Next-Executing-Tail selection;
+* :class:`BoaPredictor` — branch-frequency path construction (related
+  work, §7);
+* :class:`FirstExecutionPredictor` — the τ = 0 limit case.
+
+All schemes share the :class:`OnlinePredictor` interface and produce
+:class:`PredictionOutcome` records scored by :mod:`repro.metrics`.
+"""
+
+from repro.prediction.base import (
+    OnlinePredictor,
+    PredictionOutcome,
+    occurrence_index_arrays,
+    remaining_after,
+)
+from repro.prediction.boa import BoaPredictor
+from repro.prediction.first_execution import FirstExecutionPredictor
+from repro.prediction.net import NETPredictor
+from repro.prediction.path_profile import PathProfilePredictor
+
+__all__ = [
+    "BoaPredictor",
+    "FirstExecutionPredictor",
+    "NETPredictor",
+    "OnlinePredictor",
+    "PathProfilePredictor",
+    "PredictionOutcome",
+    "occurrence_index_arrays",
+    "remaining_after",
+]

@@ -1,0 +1,35 @@
+"""The trivial predict-on-first-execution scheme.
+
+The paper uses this limit case (τ = 0) to motivate the noise metric: "if
+hit rate was the only measure of prediction quality making optimal path
+predictions would be trivial: simply predict every path when it first
+executes" (§3).  It is exactly path-profile based prediction with zero
+delay, packaged under its own name for the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from repro.prediction.base import PredictionOutcome
+from repro.prediction.path_profile import PathProfilePredictor
+from repro.trace.recorder import PathTrace
+
+
+class FirstExecutionPredictor(PathProfilePredictor):
+    """Predict every path as hot the first time it executes."""
+
+    name = "first-execution"
+
+    def __init__(self):
+        super().__init__(delay=0)
+
+    def run(self, trace: PathTrace) -> PredictionOutcome:
+        outcome = super().run(trace)
+        return PredictionOutcome(
+            scheme=self.name,
+            delay=0,
+            predicted_ids=outcome.predicted_ids,
+            prediction_times=outcome.prediction_times,
+            captured=outcome.captured,
+            counter_space=outcome.counter_space,
+            profiling_ops=outcome.profiling_ops,
+        )

@@ -1,0 +1,222 @@
+"""NET — Next Executing Tail prediction (paper §4.1/§4.2).
+
+NET splits a path into its *head* (the starting block, a target of a
+backward taken branch) and its *tail* (the remainder).  Profiling is
+limited to heads: one counter per head, bumped whenever a backward taken
+branch lands there.  Once a head's counter exceeds the prediction delay τ
+the head is *hot*, and the next executing tail is speculatively selected
+as a hot path — no per-branch history shifting, no path table.
+
+Two models of what happens after the first selection are provided:
+
+* ``retire_heads=False`` (default) — the *region* model used for the
+  paper's abstract evaluation: once a head is hot, every distinct tail
+  that subsequently executes from it is materialized at its first
+  post-hot execution and captured from then on.  This abstracts Dynamo's
+  secondary trace selection, where exits of an existing fragment become
+  new trace heads, so the second (third, …) hot path through a loop is
+  still captured shortly after the region turns hot.
+* ``retire_heads=True`` — the literal single-shot model: the head
+  counter is retired after its first prediction and only the one
+  next-executing tail is ever selected for that head.  Useful as an
+  ablation; it shows how much of NET's hit rate rests on secondary
+  selection when loops have more than one dominant path.
+
+Either way the counter population is bounded by the number of
+backward-branch targets (a fraction of |B|), against up to 2^|B| path
+counters for path-profile based prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import (
+    OnlinePredictor,
+    PredictionOutcome,
+    occurrence_index_arrays,
+)
+from repro.trace.recorder import PathTrace
+
+
+class NETPredictor(OnlinePredictor):
+    """The paper's NET prediction scheme.
+
+    Parameters
+    ----------
+    delay:
+        The prediction delay τ.  A head turns hot at its (τ+1)-th counted
+        execution; tails captured from a hot head include the execution
+        that materializes them, mirroring the ``freq(p) − τ`` accounting
+        of path-profile prediction.
+    count_backward_arrivals_only:
+        When True (default, matching Dynamo) the head counter is bumped
+        only when control reaches the head *via a backward taken branch*.
+        When False every path start bumps the counter.
+    retire_heads:
+        Single-shot ablation; see the module docstring.
+    """
+
+    name = "net"
+
+    def __init__(
+        self,
+        delay: int,
+        count_backward_arrivals_only: bool = True,
+        retire_heads: bool = False,
+    ):
+        super().__init__(delay)
+        self.count_backward_arrivals_only = count_backward_arrivals_only
+        self.retire_heads = retire_heads
+
+    # ------------------------------------------------------------------
+    def run(self, trace: PathTrace) -> PredictionOutcome:
+        head_seq = trace.head_sequence()
+        if self.count_backward_arrivals_only:
+            counted = trace.backward_arrival_mask()
+        else:
+            counted = np.ones(len(head_seq), dtype=bool)
+
+        hot_time, num_heads, counted_heads = self._head_hot_times(
+            head_seq, counted
+        )
+        if self.retire_heads:
+            predicted, times, captured = self._single_shot(trace, hot_time)
+        else:
+            predicted, times, captured = self._region_model(
+                trace, head_seq, hot_time
+            )
+
+        by_time = np.argsort(times, kind="stable")
+        return PredictionOutcome(
+            scheme=self.name,
+            delay=self.delay,
+            predicted_ids=predicted[by_time],
+            prediction_times=times[by_time],
+            captured=captured[by_time],
+            counter_space=num_heads,
+            profiling_ops=self._profiling_ops(
+                trace, counted_heads, predicted[by_time]
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _head_hot_times(
+        self, head_seq: np.ndarray, counted: np.ndarray
+    ) -> tuple[dict[int, int], int, np.ndarray]:
+        """Occurrence index at which each head turns hot.
+
+        Returns ``(hot_time, num_heads, counted_heads)`` where
+        ``hot_time`` maps head uid → index of its (τ+1)-th counted
+        arrival (heads that never reach it are absent), ``num_heads`` is
+        the number of heads with a counter (the NET counter space), and
+        ``counted_heads`` is the sequence of counted head arrivals.
+        """
+        tau = self.delay
+        counted_indices = np.flatnonzero(counted)
+        counted_heads = head_seq[counted_indices]
+        hot_time: dict[int, int] = {}
+        if not len(counted_heads):
+            return hot_time, 0, counted_heads
+
+        unique_heads, inverse = np.unique(counted_heads, return_inverse=True)
+        head_order = np.argsort(inverse, kind="stable")
+        head_starts = np.searchsorted(
+            inverse[head_order], np.arange(len(unique_heads) + 1), "left"
+        )
+        for h, uid in enumerate(unique_heads):
+            arrivals = counted_indices[
+                head_order[head_starts[h] : head_starts[h + 1]]
+            ]
+            if len(arrivals) > tau:
+                hot_time[int(uid)] = int(arrivals[tau])
+        return hot_time, len(unique_heads), counted_heads
+
+    # ------------------------------------------------------------------
+    def _region_model(
+        self,
+        trace: PathTrace,
+        head_seq: np.ndarray,
+        hot_time: dict[int, int],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Capture every tail executing from a head after it turned hot."""
+        n = len(trace.path_ids)
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        if not n or not hot_time:
+            return empty
+
+        # hot_time per occurrence, via a dense head-uid lookup table.
+        max_uid = int(head_seq.max())
+        hot_lookup = np.full(max_uid + 1, n, dtype=np.int64)
+        for uid, time in hot_time.items():
+            hot_lookup[uid] = time
+        occurrence_hot = np.arange(n) >= hot_lookup[head_seq]
+
+        captured_per_path = np.bincount(
+            trace.path_ids[occurrence_hot], minlength=trace.num_paths
+        )
+        predicted = np.flatnonzero(captured_per_path > 0).astype(np.int64)
+
+        # Prediction time of a path: its first post-hot occurrence.
+        times_per_path = np.full(trace.num_paths, n, dtype=np.int64)
+        hot_indices = np.flatnonzero(occurrence_hot)
+        np.minimum.at(times_per_path, trace.path_ids[hot_indices], hot_indices)
+
+        return (
+            predicted,
+            times_per_path[predicted],
+            captured_per_path[predicted].astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _single_shot(
+        self, trace: PathTrace, hot_time: dict[int, int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One prediction per head: the tail executing at hot-time."""
+        order, starts = occurrence_index_arrays(
+            trace.path_ids, trace.num_paths
+        )
+        predicted: list[int] = []
+        times: list[int] = []
+        captured: list[int] = []
+        for _, time in sorted(hot_time.items(), key=lambda item: item[1]):
+            path_id = int(trace.path_ids[time])
+            occurrences = order[starts[path_id] : starts[path_id + 1]]
+            cut = np.searchsorted(occurrences, time, side="left")
+            predicted.append(path_id)
+            times.append(time)
+            captured.append(int(len(occurrences) - cut))
+        return (
+            np.asarray(predicted, dtype=np.int64),
+            np.asarray(times, dtype=np.int64),
+            np.asarray(captured, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _profiling_ops(
+        self,
+        trace: PathTrace,
+        counted_heads: np.ndarray,
+        predicted_ids: np.ndarray,
+    ) -> int:
+        """Dynamic profiling operations under NET.
+
+        Each head performs at most τ+1 counter increments before turning
+        hot; collecting a selected tail costs one incremental
+        instrumentation step per block of the tail (paper §4.2).
+        """
+        tau = self.delay
+        if len(counted_heads):
+            _, arrivals_per_head = np.unique(counted_heads, return_counts=True)
+            increments = int(np.minimum(arrivals_per_head, tau + 1).sum())
+        else:
+            increments = 0
+        if len(predicted_ids):
+            collection = int(trace.blocks_per_path()[predicted_ids].sum())
+        else:
+            collection = 0
+        return increments + collection

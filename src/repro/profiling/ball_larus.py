@@ -1,0 +1,164 @@
+"""Ball–Larus runtime path profiling (paper §2).
+
+Uses the static numbering and spanning-tree instrumentation plan from
+:mod:`repro.cfg.spanning_tree` to profile *intraprocedural acyclic forward
+paths* at run time the way an instrumented binary would: a per-activation
+register ``r`` starts at 0, every traversed *chord* edge adds its
+increment, and reaching the procedure's path end bumps ``count[r]``.
+
+The profiler demonstrates the scheme's offline strengths and online costs:
+increments only on chord edges (fewer dynamic operations than bit
+tracing), but a preparatory static analysis and a counter space bounded by
+the *static* path count, which can be exponential in the procedure size.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.block import BranchKind
+from repro.cfg.program import Program
+from repro.cfg.spanning_tree import BallLarusNumbering, number_program
+from repro.profiling.base import Profiler, ProfileReport
+from repro.profiling.counters import CounterTable
+from repro.trace.events import HALT_DST, BranchEvent
+
+
+class BallLarusProfiler(Profiler):
+    """Runtime profiler over the Ball–Larus instrumentation plan.
+
+    Keys of the resulting frequency map are ``(procedure_name, path_id)``
+    pairs; :meth:`decode` recovers the block sequence of any profiled
+    path.
+    """
+
+    name = "ball-larus"
+
+    def __init__(self, program: Program):
+        self._program = program
+        self._numberings: dict[str, BallLarusNumbering] = number_program(
+            program
+        )
+        # chord increment lookup per procedure: (src, dst) -> increment.
+        self._chords: dict[str, dict[tuple[int, int], int]] = {}
+        for name, numbering in self._numberings.items():
+            chords = {}
+            chord_set = set(numbering.chord_indices)
+            for edge in numbering.edges:
+                if edge.index in chord_set:
+                    chords[(edge.src, edge.dst)] = numbering.increments[
+                        edge.index
+                    ]
+            self._chords[name] = chords
+
+        self._counters = CounterTable("bl-paths")
+        self._increment_ops = 0
+        # Per-activation register stack: (proc_name, register, current uid).
+        self._stack: list[list] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _enter_procedure(self, uid: int) -> None:
+        proc_name = self._program.block_by_uid(uid).proc_name
+        numbering = self._numberings[proc_name]
+        register = self._apply(proc_name, numbering.virtual_entry, uid, 0)
+        self._stack.append([proc_name, register, uid])
+
+    def _apply(
+        self, proc_name: str, src: int, dst: int, register: int
+    ) -> int:
+        increment = self._chords[proc_name].get((src, dst))
+        if increment is not None:
+            register += increment
+            self._increment_ops += 1
+        return register
+
+    def _end_path(self, last_uid: int, restart_uid: int | None) -> None:
+        """Close the current activation's path and optionally restart."""
+        if not self._stack:
+            return
+        proc_name, register, _ = self._stack[-1]
+        numbering = self._numberings[proc_name]
+        register = self._apply(
+            proc_name, last_uid, numbering.virtual_exit, register
+        )
+        self._counters.bump((proc_name, register))
+        if restart_uid is not None:
+            self._stack[-1][1] = self._apply(
+                proc_name, numbering.virtual_entry, restart_uid, 0
+            )
+            self._stack[-1][2] = restart_uid
+
+    # ------------------------------------------------------------------
+    def observe(self, event: BranchEvent) -> None:
+        if not self._started:
+            self._started = True
+            self._enter_procedure(event.src)
+
+        if event.dst == HALT_DST:
+            self._end_path(event.src, None)
+            self._stack.clear()
+            return
+
+        src_block = self._program.block_by_uid(event.src)
+        term_kind = src_block.terminator.kind
+
+        if event.is_call:
+            # The caller's path pauses across the call (Ball–Larus paths
+            # are intraprocedural); a fresh activation begins.
+            self._enter_procedure(event.dst)
+            return
+        if event.is_return or term_kind is BranchKind.RETURN:
+            # The returning activation's path ends at the return.
+            self._end_path(event.src, None)
+            if self._stack:
+                self._stack.pop()
+            if self._stack:
+                proc_name, register, current = self._stack[-1]
+                self._stack[-1][1] = self._apply(
+                    proc_name, current, event.dst, register
+                )
+                self._stack[-1][2] = event.dst
+            return
+        if event.backward:
+            # Forward paths end at backward branches; the branch target
+            # starts the next path of the same activation.
+            self._end_path(event.src, event.dst)
+            return
+
+        proc_name, register, _ = self._stack[-1]
+        self._stack[-1][1] = self._apply(
+            proc_name, event.src, event.dst, register
+        )
+        self._stack[-1][2] = event.dst
+
+    def report(self) -> ProfileReport:
+        # Close any paths still open at stream end.
+        while self._stack:
+            _, _, current = self._stack[-1]
+            self._end_path(current, None)
+            self._stack.pop()
+        return ProfileReport(
+            scheme=self.name,
+            frequencies={key: count for key, count in self._counters.items()},
+            counter_space=self._counters.high_water,
+            profiling_ops=self._increment_ops + self._counters.updates,
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, key: tuple[str, int]) -> list[int]:
+        """Block uids of the profiled path ``(procedure, path_id)``.
+
+        The virtual entry/exit nodes are stripped from the result.
+        """
+        proc_name, path_id = key
+        numbering = self._numberings[proc_name]
+        sequence = numbering.decode(path_id)
+        return [
+            uid
+            for uid in sequence
+            if uid not in (numbering.virtual_entry, numbering.virtual_exit)
+        ]
+
+    @property
+    def static_path_space(self) -> int:
+        """Total static Ball–Larus path count across procedures."""
+        return sum(n.num_paths for n in self._numberings.values())

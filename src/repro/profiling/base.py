@@ -1,0 +1,64 @@
+"""Shared interface of the concrete profilers.
+
+A profiler consumes a :class:`repro.trace.BranchEvent` stream and builds a
+frequency distribution over its profiling unit (paths, edges, blocks…).
+Each profiler reports the two cost figures the paper compares schemes on:
+counter space and dynamic profiling operations.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.trace.events import BranchEvent
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Outcome of a profiling run.
+
+    ``frequencies`` maps the scheme's unit key (path signature, edge pair,
+    block uid, …) to its observed count.
+    """
+
+    scheme: str
+    frequencies: dict
+    counter_space: int
+    profiling_ops: int
+
+    @property
+    def num_units(self) -> int:
+        """Distinct profiled units."""
+        return len(self.frequencies)
+
+    @property
+    def total_count(self) -> int:
+        """Sum over all unit counts."""
+        return sum(self.frequencies.values())
+
+    def hottest(self, n: int = 10) -> list[tuple[object, int]]:
+        """The ``n`` most frequent units, descending."""
+        return sorted(self.frequencies.items(), key=lambda kv: -kv[1])[:n]
+
+
+class Profiler(abc.ABC):
+    """Base class: feed events, then ask for the report."""
+
+    #: Scheme name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def observe(self, event: BranchEvent) -> None:
+        """Process one branch event."""
+
+    @abc.abstractmethod
+    def report(self) -> ProfileReport:
+        """Finalize and return the profile."""
+
+    def run(self, events: Iterable[BranchEvent]) -> ProfileReport:
+        """Convenience: observe a whole stream and report."""
+        for event in events:
+            self.observe(event)
+        return self.report()

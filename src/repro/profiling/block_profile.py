@@ -1,0 +1,38 @@
+"""Basic-block profiling baseline.
+
+Counts block entries.  The paper notes (§4.2) that NET "requires even
+less profiling than block or branch profiling schemes" — this baseline
+makes that comparison concrete: block profiling bumps a counter at every
+block entry, NET only at backward-taken-branch targets.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.base import Profiler, ProfileReport
+from repro.profiling.counters import CounterTable
+from repro.trace.events import HALT_DST, BranchEvent
+
+
+class BlockProfiler(Profiler):
+    """Counts basic-block entries (the destination of every transfer)."""
+
+    name = "block"
+
+    def __init__(self, entry_uid: int | None = None):
+        self._counters = CounterTable("blocks")
+        if entry_uid is not None:
+            # The entry block is entered once without a branch event.
+            self._counters.bump(entry_uid)
+
+    def observe(self, event: BranchEvent) -> None:
+        if event.dst == HALT_DST:
+            return
+        self._counters.bump(event.dst)
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(
+            scheme=self.name,
+            frequencies={key: count for key, count in self._counters.items()},
+            counter_space=self._counters.high_water,
+            profiling_ops=self._counters.updates,
+        )

@@ -1,0 +1,68 @@
+"""Counter tables with space and update accounting.
+
+All profiling schemes count *something* — paths, edges, blocks, heads.
+:class:`CounterTable` is the shared hash-table-with-bookkeeping they use,
+so space consumption (paper §5.2) and dynamic update counts (paper §4's
+runtime overhead) fall out of every scheme uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from repro.errors import ProfilingError
+
+
+class CounterTable:
+    """A keyed counter table that tracks its own cost figures.
+
+    Attributes
+    ----------
+    updates:
+        Total number of increment operations performed.
+    high_water:
+        Maximum number of counters ever allocated (the space figure).
+    """
+
+    def __init__(self, name: str = "counters"):
+        self.name = name
+        self._counts: dict[Hashable, int] = {}
+        self.updates = 0
+        self.high_water = 0
+
+    def bump(self, key: Hashable, amount: int = 1) -> int:
+        """Increment ``key``'s counter; returns the new value."""
+        if amount < 0:
+            raise ProfilingError("cannot bump a counter by a negative amount")
+        new_value = self._counts.get(key, 0) + amount
+        self._counts[key] = new_value
+        self.updates += 1
+        if len(self._counts) > self.high_water:
+            self.high_water = len(self._counts)
+        return new_value
+
+    def get(self, key: Hashable) -> int:
+        """Current count for ``key`` (0 if never bumped)."""
+        return self._counts.get(key, 0)
+
+    def remove(self, key: Hashable) -> None:
+        """Retire a counter (NET retires head counters after prediction)."""
+        self._counts.pop(key, None)
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        """Iterate over (key, count) pairs."""
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def total(self) -> int:
+        """Sum of all counters."""
+        return sum(self._counts.values())
+
+    def top(self, n: int) -> list[tuple[Hashable, int]]:
+        """The ``n`` highest counters, descending."""
+        return sorted(self._counts.items(), key=lambda kv: -kv[1])[:n]

@@ -1,0 +1,35 @@
+"""Edge profiling baseline.
+
+Edge profiles are the classic cheap alternative to path profiles; the
+paper's related work (§7) cites Ball/Mataga/Sagiv's result that edge
+profiles recover a large share of the hot path profile offline.  The
+profiler counts every traversed (src, dst) block pair.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.base import Profiler, ProfileReport
+from repro.profiling.counters import CounterTable
+from repro.trace.events import HALT_DST, BranchEvent
+
+
+class EdgeProfiler(Profiler):
+    """Counts control-flow edge traversals."""
+
+    name = "edge"
+
+    def __init__(self) -> None:
+        self._counters = CounterTable("edges")
+
+    def observe(self, event: BranchEvent) -> None:
+        if event.dst == HALT_DST:
+            return
+        self._counters.bump((event.src, event.dst))
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(
+            scheme=self.name,
+            frequencies={key: count for key, count in self._counters.items()},
+            counter_space=self._counters.high_water,
+            profiling_ops=self._counters.updates,
+        )

@@ -1,0 +1,90 @@
+"""Side-by-side overhead comparison of the profiling schemes.
+
+Paper §4 argues that path-profile based prediction's runtime overhead
+(counter space + per-branch profiling operations) is what disqualifies it
+online.  :func:`compare_schemes` runs every profiler over one event
+stream and tabulates the two cost figures, plus a NET-style head-only
+counter for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.program import Program
+from repro.profiling.ball_larus import BallLarusProfiler
+from repro.profiling.base import Profiler, ProfileReport
+from repro.profiling.bit_tracing import BitTracingProfiler
+from repro.profiling.block_profile import BlockProfiler
+from repro.profiling.counters import CounterTable
+from repro.profiling.edge_profile import EdgeProfiler
+from repro.profiling.kpaths import KBoundedPathProfiler
+from repro.trace.events import BranchEvent
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One scheme's cost figures on one event stream."""
+
+    scheme: str
+    counter_space: int
+    profiling_ops: int
+    num_units: int
+
+    def render(self) -> str:
+        """One-line report form."""
+        return (
+            f"{self.scheme:>12s}: counters={self.counter_space:>8,} "
+            f"ops={self.profiling_ops:>10,} units={self.num_units:>8,}"
+        )
+
+
+class HeadCounterProfiler(Profiler):
+    """NET's profiling component alone: counters at backward-branch targets."""
+
+    name = "net-heads"
+
+    def __init__(self) -> None:
+        self._counters = CounterTable("heads")
+
+    def observe(self, event: BranchEvent) -> None:
+        if event.backward:
+            self._counters.bump(event.dst)
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(
+            scheme=self.name,
+            frequencies={key: count for key, count in self._counters.items()},
+            counter_space=self._counters.high_water,
+            profiling_ops=self._counters.updates,
+        )
+
+
+def compare_schemes(
+    program: Program, events: list[BranchEvent], k: int = 8
+) -> list[OverheadRow]:
+    """Run every profiling scheme over ``events`` and tabulate costs.
+
+    ``events`` must be materialized (a list) because each profiler
+    consumes the stream once.
+    """
+    profilers = [
+        BitTracingProfiler(program),
+        BallLarusProfiler(program),
+        KBoundedPathProfiler(k=k),
+        EdgeProfiler(),
+        BlockProfiler(entry_uid=program.entry_block.uid),
+        HeadCounterProfiler(),
+    ]
+    rows = []
+    for profiler in profilers:
+        report = profiler.run(events)
+        rows.append(
+            OverheadRow(
+                scheme=report.scheme,
+                counter_space=report.counter_space,
+                profiling_ops=report.profiling_ops,
+                num_units=report.num_units,
+            )
+        )
+    return rows

@@ -1,0 +1,49 @@
+"""Execution traces: branch events, paths, extraction and recording.
+
+The pipeline is::
+
+    Program  --walker/ISA-->  BranchEvent stream
+             --PathExtractor-->  PathOccurrence stream
+             --record_path_trace-->  PathTrace (ids + PathTable)
+
+Workload surrogates may synthesize a :class:`PathTrace` directly from a
+stochastic path model; everything downstream is agnostic to the origin.
+"""
+
+from repro.trace.events import HALT_DST, BranchEvent, halt_event
+from repro.trace.extractor import PathExtractor, PathOccurrence, extract_paths
+from repro.trace.io import load_trace, save_trace
+from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
+from repro.trace.recorder import PathTrace, record_path_trace
+from repro.trace.stats import TraceSummary, summarize
+from repro.trace.walker import (
+    BranchOracle,
+    CFGWalker,
+    RandomOracle,
+    ScriptedOracle,
+    TripCountOracle,
+)
+
+__all__ = [
+    "HALT_DST",
+    "BranchEvent",
+    "BranchOracle",
+    "CFGWalker",
+    "Path",
+    "PathExtractor",
+    "PathOccurrence",
+    "PathSignature",
+    "PathTable",
+    "PathTrace",
+    "RandomOracle",
+    "ScriptedOracle",
+    "SignatureRegister",
+    "TraceSummary",
+    "TripCountOracle",
+    "extract_paths",
+    "halt_event",
+    "load_trace",
+    "save_trace",
+    "record_path_trace",
+    "summarize",
+]

@@ -1,0 +1,202 @@
+"""Segmentation of a branch-event stream into interprocedural forward paths.
+
+Implements the paper's path definition (§3):
+
+    "An interprocedural forward path starts at the target of a backward
+    taken branch and extends up to the next backward taken branch.  The
+    path may extend across procedure call or return statements unless the
+    call or return is a backward branch.  If a path includes a (forward)
+    procedure call it will terminate at the corresponding return branch,
+    if not earlier."
+
+Operationally the extractor partitions the event stream into consecutive
+segments.  A segment ends when
+
+* a backward taken transfer executes (of any kind — conditional, jump,
+  indirect, call or return); the transfer belongs to the ending segment
+  and the next segment starts at its target;
+* a *forward* return executes while the segment has an open in-path call
+  (the "corresponding return" rule); nested call/return pairs therefore
+  never appear inside one path, matching the rule's "if not earlier";
+* the configured maximum path length is reached (Dynamo bounds trace
+  length the same way); or
+* the program halts.
+
+Every executed block belongs to exactly one segment, so total flow equals
+the number of emitted path occurrences — the partition invariant the
+metrics rely on (and that the property tests assert).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.cfg.program import Program
+from repro.errors import TraceError
+from repro.trace.events import HALT_DST, BranchEvent
+from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
+
+
+@dataclass(frozen=True, slots=True)
+class PathOccurrence:
+    """One dynamic execution of a path: the path id plus its position."""
+
+    path_id: int
+    index: int
+
+
+class PathExtractor:
+    """Stateful segmenter turning branch events into path occurrences.
+
+    Parameters
+    ----------
+    program:
+        The program the events were produced from (provides block sizes
+        and addresses for signatures and size figures).
+    table:
+        Path interning table; supply one to share across runs, otherwise a
+        fresh table is created and exposed as :attr:`table`.
+    max_blocks:
+        Maximum number of blocks per path before a forced cut.  Dynamo
+        bounds trace length the same way; ``None`` disables the cap.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        table: PathTable | None = None,
+        max_blocks: int | None = 256,
+    ):
+        if max_blocks is not None and max_blocks < 1:
+            raise TraceError("max_blocks must be positive or None")
+        self._program = program
+        self.table = table if table is not None else PathTable()
+        self._max_blocks = max_blocks
+
+    def extract(
+        self, events: Iterable[BranchEvent], start_uid: int | None = None
+    ) -> Iterator[PathOccurrence]:
+        """Yield one :class:`PathOccurrence` per completed segment.
+
+        ``start_uid`` overrides the initial block (defaults to the program
+        entry).  The final, possibly unterminated segment is emitted when
+        the event stream ends.
+        """
+        program = self._program
+        current_uid = (
+            start_uid if start_uid is not None else program.entry_block.uid
+        )
+        occurrence_index = 0
+
+        blocks: list[int] = [current_uid]
+        register = SignatureRegister(program.block_by_uid(current_uid).address)
+        open_calls = 0
+        ends_backward = False
+
+        def flush() -> PathOccurrence:
+            nonlocal blocks, register, open_calls, ends_backward
+            nonlocal occurrence_index
+            path = self._make_path(blocks, register.snapshot(), ends_backward)
+            occurrence = PathOccurrence(
+                path_id=self.table.intern(path), index=occurrence_index
+            )
+            occurrence_index += 1
+            blocks = []
+            open_calls = 0
+            ends_backward = False
+            return occurrence
+
+        def start_segment(uid: int) -> None:
+            nonlocal blocks, register
+            blocks = [uid]
+            register = SignatureRegister(program.block_by_uid(uid).address)
+
+        for event in events:
+            if blocks and event.src != blocks[-1]:
+                raise TraceError(
+                    f"event source {event.src} does not match current "
+                    f"block {blocks[-1]}"
+                )
+
+            bit = event.history_bit
+            if bit is not None:
+                register.shift(bit)
+            if event.is_indirect:
+                if event.dst != HALT_DST:
+                    register.record_indirect(
+                        program.block_by_uid(event.dst).address
+                    )
+
+            if event.dst == HALT_DST:
+                ends_backward = False
+                yield flush()
+                return
+
+            if event.backward:
+                ends_backward = True
+                yield flush()
+                start_segment(event.dst)
+                continue
+
+            if event.is_call:
+                open_calls += 1
+            elif event.is_return:
+                if open_calls > 0:
+                    # Forward return closing an in-path call: the path
+                    # terminates at the return branch.
+                    ends_backward = False
+                    yield flush()
+                    start_segment(event.dst)
+                    continue
+
+            if (
+                self._max_blocks is not None
+                and len(blocks) >= self._max_blocks
+            ):
+                # The overflowing transfer terminates the segment; its
+                # target block opens the next one, keeping the partition
+                # invariant (each block in exactly one segment).
+                ends_backward = False
+                yield flush()
+                start_segment(event.dst)
+            else:
+                blocks.append(event.dst)
+
+        if blocks:
+            ends_backward = False
+            yield flush()
+
+    def _make_path(
+        self,
+        blocks: list[int],
+        signature: PathSignature,
+        ends_backward: bool,
+    ) -> Path:
+        program = self._program
+        num_instructions = 0
+        num_cond = signature.bit_count
+        num_indirect = len(signature.indirect_targets)
+        for uid in blocks:
+            num_instructions += program.block_by_uid(uid).size
+        return Path(
+            signature=signature,
+            blocks=tuple(blocks),
+            start_uid=blocks[0],
+            num_instructions=num_instructions,
+            num_cond_branches=num_cond,
+            num_indirect_branches=num_indirect,
+            ends_with_backward_branch=ends_backward,
+        )
+
+
+def extract_paths(
+    program: Program,
+    events: Iterable[BranchEvent],
+    table: PathTable | None = None,
+    max_blocks: int | None = 256,
+) -> tuple[list[PathOccurrence], PathTable]:
+    """Materialize the full occurrence list for an event stream."""
+    extractor = PathExtractor(program, table=table, max_blocks=max_blocks)
+    occurrences = list(extractor.extract(events))
+    return occurrences, extractor.table

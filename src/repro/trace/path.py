@@ -1,0 +1,213 @@
+"""Program paths and their bit-tracing signatures.
+
+The paper identifies a path by the signature
+``<start_address>.<history>,<indirect_branch_target_list>`` — the start
+address, one bit per conditional branch outcome, and the target address of
+every indirect branch on the path (§2, Figure 1).  Signatures are the
+canonical identity of a path here as well: two executions are the same
+path exactly when their signatures are equal.
+
+:class:`Path` additionally carries the resolved block sequence and the
+static size figures (instructions, conditional branches, indirect
+branches) that the profiling overhead and Dynamo cost models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class PathSignature:
+    """Bit-tracing identity of a path.
+
+    ``history`` packs the branch outcome bits into an integer, most recent
+    bit in the least-significant position exactly as a shift register would
+    build it; ``bit_count`` disambiguates leading zeros.
+    """
+
+    start_address: int
+    history: int
+    bit_count: int
+    indirect_targets: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bit_count < 0:
+            raise TraceError("bit_count must be non-negative")
+        if not 0 <= self.history < (1 << self.bit_count):
+            raise TraceError(
+                f"history {self.history:#x} does not fit in "
+                f"{self.bit_count} bits"
+            )
+
+    @property
+    def bits(self) -> str:
+        """The outcome bits as a string, oldest branch first."""
+        if self.bit_count == 0:
+            return ""
+        return format(self.history, f"0{self.bit_count}b")
+
+    def render(self) -> str:
+        """Human-readable form: ``<start>.<history>,<indirect targets>``."""
+        text = f"{self.start_address}.{self.bits or '-'}"
+        if self.indirect_targets:
+            targets = ",".join(str(t) for t in self.indirect_targets)
+            text += f",[{targets}]"
+        return text
+
+    @staticmethod
+    def from_bits(
+        start_address: int,
+        bits: str,
+        indirect_targets: tuple[int, ...] = (),
+    ) -> "PathSignature":
+        """Build a signature from a ``"0101"``-style bit string."""
+        history = int(bits, 2) if bits else 0
+        return PathSignature(
+            start_address=start_address,
+            history=history,
+            bit_count=len(bits),
+            indirect_targets=indirect_targets,
+        )
+
+
+class SignatureRegister:
+    """The run-time shift register that builds signatures incrementally.
+
+    Mirrors the paper's description of bit tracing: "path signatures are
+    constructed as the program executes by shifting a 1 or 0 value into
+    the current signature register".
+    """
+
+    def __init__(self, start_address: int):
+        self._start_address = start_address
+        self._history = 0
+        self._bit_count = 0
+        self._indirect: list[int] = []
+
+    def shift(self, bit: int) -> None:
+        """Shift one conditional-branch outcome into the register."""
+        if bit not in (0, 1):
+            raise TraceError(f"history bit must be 0 or 1, got {bit!r}")
+        self._history = (self._history << 1) | bit
+        self._bit_count += 1
+
+    def record_indirect(self, target_address: int) -> None:
+        """Append an indirect-branch target to the signature."""
+        self._indirect.append(target_address)
+
+    @property
+    def bit_count(self) -> int:
+        """Number of bits shifted so far."""
+        return self._bit_count
+
+    def snapshot(self) -> PathSignature:
+        """Freeze the register into an immutable signature."""
+        return PathSignature(
+            start_address=self._start_address,
+            history=self._history,
+            bit_count=self._bit_count,
+            indirect_targets=tuple(self._indirect),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """A fully-resolved program path.
+
+    Attributes
+    ----------
+    signature:
+        Bit-tracing identity.
+    blocks:
+        Uids of the blocks on the path, in execution order.
+    start_uid:
+        Uid of the first block — the path *head* in NET terminology.
+    num_instructions / num_cond_branches / num_indirect_branches:
+        Static size figures used by the overhead and Dynamo cost models.
+    ends_with_backward_branch:
+        True when the path terminated at a backward taken branch (the
+        common, loop-closing case) rather than at a return or the halt.
+    """
+
+    signature: PathSignature
+    blocks: tuple[int, ...]
+    start_uid: int
+    num_instructions: int
+    num_cond_branches: int
+    num_indirect_branches: int
+    ends_with_backward_branch: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise TraceError("a path must contain at least one block")
+        if self.blocks[0] != self.start_uid:
+            raise TraceError("start_uid must match the first block")
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks on the path."""
+        return len(self.blocks)
+
+    @property
+    def head(self) -> int:
+        """Alias for :attr:`start_uid` (NET terminology)."""
+        return self.start_uid
+
+    @property
+    def tail(self) -> tuple[int, ...]:
+        """The path minus its head block (NET terminology)."""
+        return self.blocks[1:]
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        return (
+            f"Path[{self.signature.render()}] "
+            f"blocks={len(self.blocks)} instr={self.num_instructions}"
+        )
+
+
+class PathTable:
+    """Interning table assigning dense integer ids to paths.
+
+    The table is the shared vocabulary between the extractor, the
+    profilers, the predictors and the metrics: every occurrence stream
+    speaks in table ids.
+    """
+
+    def __init__(self) -> None:
+        self._paths: list[Path] = []
+        self._ids: dict[PathSignature, int] = {}
+
+    def intern(self, path: Path) -> int:
+        """Return the id for ``path``, registering it if new."""
+        existing = self._ids.get(path.signature)
+        if existing is not None:
+            return existing
+        path_id = len(self._paths)
+        self._paths.append(path)
+        self._ids[path.signature] = path_id
+        return path_id
+
+    def lookup(self, signature: PathSignature) -> int | None:
+        """Id of the path with ``signature``, or ``None`` if unseen."""
+        return self._ids.get(signature)
+
+    def path(self, path_id: int) -> Path:
+        """The path registered under ``path_id``."""
+        try:
+            return self._paths[path_id]
+        except IndexError:
+            raise TraceError(f"no path with id {path_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths)
+
+    def paths(self) -> list[Path]:
+        """All registered paths in id order."""
+        return list(self._paths)

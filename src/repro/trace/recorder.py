@@ -1,0 +1,197 @@
+"""Materialized path traces.
+
+:class:`PathTrace` is the central exchange format of the library: a dense
+sequence of path ids plus the interning table behind them.  Everything
+downstream — profilers, predictors, metrics, the Dynamo simulator — runs
+over path traces, whether they came from a real execution (CFG walker or
+ISA machine, through the extractor) or straight from a workload's
+stochastic path model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.cfg.program import Program
+from repro.errors import TraceError
+from repro.trace.events import BranchEvent
+from repro.trace.extractor import PathExtractor
+from repro.trace.path import PathTable
+
+
+class PathTrace:
+    """A recorded execution as a sequence of path occurrences.
+
+    Attributes
+    ----------
+    table:
+        The :class:`PathTable` mapping ids to paths.
+    path_ids:
+        ``int64`` array, one entry per path occurrence, in execution
+        order.  ``len(path_ids)`` is the total *flow* of the trace (the
+        paper's ``Flow``).
+    name:
+        Optional label (the workload/benchmark name) used in reports.
+    """
+
+    def __init__(
+        self,
+        table: PathTable,
+        path_ids: np.ndarray | Iterable[int],
+        name: str = "trace",
+    ):
+        self.table = table
+        self.path_ids = np.asarray(path_ids, dtype=np.int64)
+        self.name = name
+        if self.path_ids.ndim != 1:
+            raise TraceError("path_ids must be one-dimensional")
+        if len(self.path_ids) and (
+            self.path_ids.min() < 0 or self.path_ids.max() >= len(table)
+        ):
+            raise TraceError("path_ids reference paths outside the table")
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def flow(self) -> int:
+        """Total number of path executions (the paper's ``Flow``)."""
+        return int(len(self.path_ids))
+
+    @property
+    def num_paths(self) -> int:
+        """Number of distinct paths registered in the table."""
+        return len(self.table)
+
+    def freqs(self) -> np.ndarray:
+        """Per-path execution frequency ``freq(p)``, indexed by path id."""
+        return self._cached(
+            "freqs",
+            lambda: np.bincount(self.path_ids, minlength=len(self.table)),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-path static attribute arrays (indexed by path id)
+    # ------------------------------------------------------------------
+    def _per_path(self, key: str, getter) -> np.ndarray:
+        return self._cached(
+            key,
+            lambda: np.array(
+                [getter(path) for path in self.table], dtype=np.int64
+            ),
+        )
+
+    def start_uids(self) -> np.ndarray:
+        """Head block uid per path id."""
+        return self._per_path("start_uids", lambda p: p.start_uid)
+
+    def instructions_per_path(self) -> np.ndarray:
+        """Instruction count per path id (Dynamo cost model input)."""
+        return self._per_path("instr", lambda p: p.num_instructions)
+
+    def cond_branches_per_path(self) -> np.ndarray:
+        """Conditional branch count per path id (bit-tracing cost input)."""
+        return self._per_path("cond", lambda p: p.num_cond_branches)
+
+    def indirect_branches_per_path(self) -> np.ndarray:
+        """Indirect branch count per path id."""
+        return self._per_path("indirect", lambda p: p.num_indirect_branches)
+
+    def blocks_per_path(self) -> np.ndarray:
+        """Block count per path id."""
+        return self._per_path("blocks", lambda p: p.num_blocks)
+
+    def ends_backward_per_path(self) -> np.ndarray:
+        """Whether each path id ends with a backward taken branch."""
+        return self._cached(
+            "ends_backward",
+            lambda: np.array(
+                [path.ends_with_backward_branch for path in self.table],
+                dtype=bool,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived sequences (one entry per occurrence)
+    # ------------------------------------------------------------------
+    def head_sequence(self) -> np.ndarray:
+        """Head block uid of every occurrence, in execution order."""
+        return self.start_uids()[self.path_ids]
+
+    def backward_arrival_mask(self) -> np.ndarray:
+        """Whether each occurrence was *entered via* a backward taken branch.
+
+        Occurrence ``i`` arrives via a backward branch exactly when
+        occurrence ``i-1``'s path ended with one.  The first occurrence is
+        reached from the program entry, not a branch.  This is the precise
+        condition under which Dynamo's NET implementation bumps the head
+        counter.
+        """
+
+        def build() -> np.ndarray:
+            ends = self.ends_backward_per_path()[self.path_ids]
+            mask = np.empty(len(self.path_ids), dtype=bool)
+            if len(mask):
+                mask[0] = False
+                mask[1:] = ends[:-1]
+            return mask
+
+        return self._cached("backward_arrival", build)
+
+    def dynamic_head_uids(self) -> set[int]:
+        """Distinct targets of backward taken branches observed in the trace.
+
+        This is the paper's "#Unique Path Heads" (Table 2): the number of
+        counters the NET scheme allocates during the run.
+        """
+        heads = self.head_sequence()[self.backward_arrival_mask()]
+        return set(int(uid) for uid in np.unique(heads))
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "PathTrace":
+        """A sub-trace sharing the table (used by phase experiments)."""
+        return PathTrace(
+            self.table, self.path_ids[start:stop], name=f"{self.name}[{start}:{stop}]"
+        )
+
+    def concat(self, other: "PathTrace") -> "PathTrace":
+        """Concatenate two traces that share one table."""
+        if other.table is not self.table:
+            raise TraceError("can only concatenate traces sharing a table")
+        return PathTrace(
+            self.table,
+            np.concatenate([self.path_ids, other.path_ids]),
+            name=f"{self.name}+{other.name}",
+        )
+
+    def _cached(self, key: str, builder) -> np.ndarray:
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    def __len__(self) -> int:
+        return self.flow
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathTrace({self.name!r}, flow={self.flow}, "
+            f"paths={self.num_paths})"
+        )
+
+
+def record_path_trace(
+    program: Program,
+    events: Iterable[BranchEvent],
+    name: str = "trace",
+    table: PathTable | None = None,
+    max_blocks: int | None = 256,
+) -> PathTrace:
+    """Run the extractor over ``events`` and materialize a path trace."""
+    extractor = PathExtractor(program, table=table, max_blocks=max_blocks)
+    ids = [occurrence.path_id for occurrence in extractor.extract(events)]
+    return PathTrace(extractor.table, np.asarray(ids, dtype=np.int64), name=name)

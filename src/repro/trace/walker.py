@@ -1,0 +1,212 @@
+"""Execution of a CFG program under a branch oracle.
+
+The walker is the bridge between static programs and dynamic traces when
+no real ISA-level code exists: it executes a :class:`repro.cfg.Program`
+block by block, asking a :class:`BranchOracle` to resolve every
+conditional, indirect and call decision, and emits the resulting
+:class:`BranchEvent` stream.  Oracles are deterministic given their seed,
+so every trace in the test-suite and the experiments is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Protocol
+
+from repro.cfg.block import BasicBlock, BranchKind
+from repro.cfg.edge import EdgeKind
+from repro.cfg.program import Program
+from repro.errors import MachineLimitExceeded, TraceError
+from repro.trace.events import BranchEvent, halt_event
+
+
+class BranchOracle(Protocol):
+    """Decision source for dynamic control flow."""
+
+    def decide_cond(self, block: BasicBlock) -> bool:
+        """Whether the conditional branch ending ``block`` is taken."""
+
+    def decide_multiway(self, block: BasicBlock, arity: int) -> int:
+        """Index of the chosen target for an indirect jump or call."""
+
+
+class RandomOracle:
+    """Seeded random decisions with optional per-block taken bias.
+
+    ``bias`` maps block uids to the probability that the conditional
+    branch is taken; blocks not in the map use ``default_bias``.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        bias: dict[int, float] | None = None,
+        default_bias: float = 0.5,
+    ):
+        self._rng = random.Random(seed)
+        self._bias = dict(bias or {})
+        self._default_bias = default_bias
+
+    def decide_cond(self, block: BasicBlock) -> bool:
+        probability = self._bias.get(block.uid, self._default_bias)
+        return self._rng.random() < probability
+
+    def decide_multiway(self, block: BasicBlock, arity: int) -> int:
+        return self._rng.randrange(arity)
+
+
+class TripCountOracle:
+    """Loop-aware oracle: bounded trip counts over a random base oracle.
+
+    ``trip_counts`` maps loop-header uids to the number of consecutive
+    *taken* decisions before one not-taken (loop exit); the counter then
+    resets so re-entered loops iterate again.  The generator convention is
+    that a loop header's taken edge enters the loop body.  Blocks without
+    an entry fall back to the base oracle.
+    """
+
+    def __init__(self, base: BranchOracle, trip_counts: dict[int, int]):
+        for uid, trips in trip_counts.items():
+            if trips < 0:
+                raise TraceError(
+                    f"trip count for block {uid} must be non-negative"
+                )
+        self._base = base
+        self._trip_counts = dict(trip_counts)
+        self._remaining: dict[int, int] = {}
+
+    def decide_cond(self, block: BasicBlock) -> bool:
+        if block.uid not in self._trip_counts:
+            return self._base.decide_cond(block)
+        remaining = self._remaining.get(block.uid, self._trip_counts[block.uid])
+        if remaining > 0:
+            self._remaining[block.uid] = remaining - 1
+            return True
+        self._remaining[block.uid] = self._trip_counts[block.uid]
+        return False
+
+    def decide_multiway(self, block: BasicBlock, arity: int) -> int:
+        return self._base.decide_multiway(block, arity)
+
+
+class ScriptedOracle:
+    """Replays a fixed list of decisions; raises when the script runs dry.
+
+    Conditional decisions consume booleans; multiway decisions consume
+    integers.  Used by unit tests to force exact control-flow sequences.
+    """
+
+    def __init__(self, decisions: list[bool | int]):
+        self._decisions = list(decisions)
+        self._cursor = 0
+
+    def _next(self) -> bool | int:
+        if self._cursor >= len(self._decisions):
+            raise TraceError("scripted oracle ran out of decisions")
+        value = self._decisions[self._cursor]
+        self._cursor += 1
+        return value
+
+    def decide_cond(self, block: BasicBlock) -> bool:
+        value = self._next()
+        if not isinstance(value, bool):
+            raise TraceError(
+                f"expected a boolean decision for {block}, got {value!r}"
+            )
+        return value
+
+    def decide_multiway(self, block: BasicBlock, arity: int) -> int:
+        value = self._next()
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TraceError(
+                f"expected an integer decision for {block}, got {value!r}"
+            )
+        if not 0 <= value < arity:
+            raise TraceError(
+                f"multiway decision {value} out of range [0, {arity})"
+            )
+        return value
+
+
+class CFGWalker:
+    """Executes a program under an oracle, yielding branch events."""
+
+    def __init__(self, program: Program, oracle: BranchOracle):
+        if not program.finalized:
+            raise TraceError("program must be finalized before walking")
+        self._program = program
+        self._oracle = oracle
+
+    def walk(self, max_events: int | None = None) -> Iterator[BranchEvent]:
+        """Yield events until HALT (inclusive) or ``max_events``.
+
+        A return from the entry procedure with an empty call stack is
+        treated as program termination (a halt event is emitted).
+        Raises :class:`MachineLimitExceeded` when the budget runs out
+        before the program halts.
+        """
+        program = self._program
+        block = program.entry_block
+        call_stack: list[int] = []
+        emitted = 0
+
+        def budget_ok() -> bool:
+            return max_events is None or emitted < max_events
+
+        while True:
+            if not budget_ok():
+                raise MachineLimitExceeded(emitted)
+            event, next_uid = self._step(block, call_stack)
+            emitted += 1
+            yield event
+            if next_uid is None:
+                return
+            block = program.block_by_uid(next_uid)
+
+    def _step(
+        self, block: BasicBlock, call_stack: list[int]
+    ) -> tuple[BranchEvent, int | None]:
+        """Execute one terminator; return (event, next block uid or None)."""
+        program = self._program
+        term = block.terminator
+        src_addr = block.branch_address
+
+        def make(dst_uid: int, kind: EdgeKind) -> tuple[BranchEvent, int]:
+            dst = program.block_by_uid(dst_uid)
+            backward = (
+                kind not in (EdgeKind.FALLTHROUGH, EdgeKind.STRAIGHT)
+                and dst.address <= src_addr
+            )
+            return (
+                BranchEvent(
+                    src=block.uid, dst=dst_uid, kind=kind, backward=backward
+                ),
+                dst_uid,
+            )
+
+        if term.kind is BranchKind.COND:
+            if self._oracle.decide_cond(block):
+                return make(block.taken_uid, EdgeKind.TAKEN)
+            return make(block.fallthrough_uid, EdgeKind.FALLTHROUGH)
+        if term.kind is BranchKind.JUMP:
+            return make(block.taken_uid, EdgeKind.JUMP)
+        if term.kind is BranchKind.INDIRECT:
+            index = self._oracle.decide_multiway(block, len(block.target_uids))
+            return make(block.target_uids[index], EdgeKind.INDIRECT)
+        if term.kind is BranchKind.CALL:
+            call_stack.append(block.fallthrough_uid)
+            return make(block.taken_uid, EdgeKind.CALL)
+        if term.kind is BranchKind.ICALL:
+            index = self._oracle.decide_multiway(block, len(block.target_uids))
+            call_stack.append(block.fallthrough_uid)
+            return make(block.target_uids[index], EdgeKind.CALL)
+        if term.kind is BranchKind.RETURN:
+            if not call_stack:
+                return halt_event(block.uid), None
+            return make(call_stack.pop(), EdgeKind.RETURN)
+        if term.kind is BranchKind.FALLTHROUGH:
+            return make(block.fallthrough_uid, EdgeKind.STRAIGHT)
+        if term.kind is BranchKind.HALT:
+            return halt_event(block.uid), None
+        raise TraceError(f"unknown terminator kind {term.kind!r}")

@@ -1,0 +1,156 @@
+"""Synthetic path construction for workload surrogates.
+
+The abstract experiments of the paper depend only on the *path sequence
+statistics* of a run — how many distinct paths exist, how they share
+heads, how skewed their frequencies are — not on the instructions behind
+them.  The :class:`PathFactory` builds families of
+:class:`repro.trace.Path` objects with consistent geometry (unique block
+uids and addresses per region, plausible per-path block/instruction
+counts, distinct bit-tracing signatures) so that every downstream
+consumer (predictors, metrics, overhead models, the Dynamo simulator)
+sees exactly what it would see from an extracted trace.
+
+Block-uid and address ranges are allocated per region so that heads are
+genuine "targets of backward taken branches" in the address sense: every
+synthetic path ends with a backward taken branch to the head of the next
+executing path, which is how the loop-structured programs the paper
+studies behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.path import Path, PathSignature, PathTable
+
+#: Address stride between consecutive synthetic blocks.
+_BLOCK_SPACING = 4
+
+
+@dataclass(frozen=True)
+class RegionGeometry:
+    """Uid/address ranges reserved for one region's blocks."""
+
+    head_uid: int
+    head_address: int
+    first_tail_uid: int
+    first_tail_address: int
+
+
+class PathFactory:
+    """Allocates uids/addresses and builds interned synthetic paths."""
+
+    def __init__(self, table: PathTable | None = None):
+        self.table = table if table is not None else PathTable()
+        self._next_uid = 0
+        self._next_address = 0
+
+    def allocate_region(self, num_tail_blocks: int) -> RegionGeometry:
+        """Reserve a head block plus ``num_tail_blocks`` body blocks."""
+        if num_tail_blocks < 0:
+            raise WorkloadError("num_tail_blocks must be non-negative")
+        geometry = RegionGeometry(
+            head_uid=self._next_uid,
+            head_address=self._next_address,
+            first_tail_uid=self._next_uid + 1,
+            first_tail_address=self._next_address + _BLOCK_SPACING,
+        )
+        self._next_uid += 1 + num_tail_blocks
+        self._next_address += (1 + num_tail_blocks) * _BLOCK_SPACING
+        return geometry
+
+    def make_tail_path(
+        self,
+        geometry: RegionGeometry,
+        variant: int,
+        num_blocks: int,
+        instructions_per_block: int = 3,
+        cond_branches: int | None = None,
+        ends_backward: bool = True,
+    ) -> int:
+        """Build and intern one tail variant of a region's loop.
+
+        ``variant`` selects which body blocks the path visits and doubles
+        as the signature's branch history, so distinct variants have
+        distinct signatures by construction.  Returns the table id.
+        """
+        if num_blocks < 1:
+            raise WorkloadError("a path needs at least one block")
+        if cond_branches is None:
+            cond_branches = max(num_blocks - 1, 1)
+        bit_count = max(cond_branches, variant.bit_length(), 1)
+        signature = PathSignature(
+            start_address=geometry.head_address,
+            history=variant,
+            bit_count=bit_count,
+            indirect_targets=(),
+        )
+        blocks = [geometry.head_uid]
+        for offset in range(num_blocks - 1):
+            blocks.append(
+                geometry.first_tail_uid + (variant + offset) % max(
+                    num_blocks * 2, 1
+                )
+            )
+        path = Path(
+            signature=signature,
+            blocks=tuple(blocks),
+            start_uid=geometry.head_uid,
+            num_instructions=num_blocks * instructions_per_block,
+            num_cond_branches=cond_branches,
+            num_indirect_branches=0,
+            ends_with_backward_branch=ends_backward,
+        )
+        return self.table.intern(path)
+
+    def make_exit_path(
+        self,
+        geometry: RegionGeometry,
+        num_blocks: int = 2,
+        instructions_per_block: int = 3,
+    ) -> int:
+        """Build the region's loop-exit/transition path.
+
+        The exit path starts at the region head (the loop test falls
+        through) and runs to the next backward branch — in the region
+        chain that is the following region's latch, so it still ends
+        backward.  Its signature is distinguished from tail variants by
+        an all-ones history one bit longer than any tail uses.
+        """
+        signature = PathSignature(
+            start_address=geometry.head_address,
+            history=(1 << 62) - 1,
+            bit_count=62,
+            indirect_targets=(),
+        )
+        blocks = [geometry.head_uid]
+        for offset in range(num_blocks - 1):
+            blocks.append(geometry.first_tail_uid + offset)
+        path = Path(
+            signature=signature,
+            blocks=tuple(blocks),
+            start_uid=geometry.head_uid,
+            num_instructions=num_blocks * instructions_per_block,
+            num_cond_branches=1,
+            num_indirect_branches=0,
+            ends_with_backward_branch=True,
+        )
+        return self.table.intern(path)
+
+
+def zipf_probabilities(count: int, skew: float) -> np.ndarray:
+    """Zipf-like tail distribution: ``p_j ∝ (j+1)^−skew``.
+
+    ``skew=0`` is uniform; larger skews concentrate flow on the first
+    tails (dominant-path loops).
+    """
+    if count < 1:
+        raise WorkloadError("count must be positive")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-skew
+    return weights / weights.sum()

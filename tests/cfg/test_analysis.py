@@ -1,0 +1,127 @@
+"""Dominators, back edges and natural loops."""
+
+import pytest
+
+from repro.cfg import (
+    ProgramBuilder,
+    compute_dominators,
+    dominator_back_edges,
+    intraprocedural_successors,
+    natural_loops,
+    procedure_loops,
+)
+from repro.cfg.analysis import reverse_graph, topological_order
+from repro.errors import CFGError
+
+
+def _nested_loop_program():
+    builder = ProgramBuilder("nested")
+    main = builder.procedure("main")
+    main.block("outer", size=1).cond(taken="inner", fallthrough="done")
+    main.block("inner", size=1).cond(taken="body", fallthrough="olatch")
+    main.block("body", size=2).fallthrough("ilatch")
+    main.block("ilatch", size=1).jump("inner")
+    main.block("olatch", size=1).jump("outer")
+    main.block("done", size=1).halt()
+    return builder.build()
+
+
+def test_dominators_fig1(fig1_program):
+    main = fig1_program.procedures["main"]
+    succs = intraprocedural_successors(fig1_program, main)
+    dom = compute_dominators(main.entry.uid, succs)
+    a, b, c, d = (main.block(l).uid for l in "ABCD")
+    assert dom[d] == {a, d}  # A dominates D; B/C do not
+    assert a in dom[b] and a in dom[c]
+
+
+def test_dominators_match_bruteforce_on_random_programs():
+    from repro.cfg import generate_program
+
+    for seed in range(4):
+        program = generate_program(seed=seed, num_procedures=2)
+        for proc in program.procedures.values():
+            succs = intraprocedural_successors(program, proc)
+            dom = compute_dominators(proc.entry.uid, succs)
+            brute = _brute_force_dominators(proc.entry.uid, succs)
+            assert dom == brute, f"seed {seed}, proc {proc.name}"
+
+
+def _brute_force_dominators(entry, succs):
+    """v dominates n iff removing v makes n unreachable from entry."""
+    from repro.cfg.analysis import reachable_from
+
+    reachable = reachable_from(entry, succs)
+    result = {}
+    for n in reachable:
+        doms = set()
+        for v in reachable:
+            if v == n:
+                doms.add(v)
+                continue
+            pruned = {
+                node: [s for s in targets if s != v]
+                for node, targets in succs.items()
+                if node != v
+            }
+            still = (
+                entry != v and n in reachable_from(entry, pruned)
+            )
+            if not still:
+                doms.add(v)
+        result[n] = doms
+    return result
+
+
+def test_back_edges_and_loops_nested():
+    program = _nested_loop_program()
+    forest = procedure_loops(program, "main")
+    main = program.procedures["main"]
+    outer, inner = main.block("outer").uid, main.block("inner").uid
+    assert forest.headers == {outer, inner}
+    assert forest.max_depth() == 2
+    depths = forest.depth
+    assert depths[main.block("body").uid] == 2
+    assert depths[main.block("done").uid] == 0
+
+
+def test_loop_body_membership():
+    program = _nested_loop_program()
+    forest = procedure_loops(program, "main")
+    main = program.procedures["main"]
+    by_header = {loop.header: loop for loop in forest.loops}
+    inner_loop = by_header[main.block("inner").uid]
+    assert main.block("body").uid in inner_loop.body
+    assert main.block("olatch").uid not in inner_loop.body
+
+
+def test_dominator_back_edges_fig1(fig1_program):
+    main = fig1_program.procedures["main"]
+    succs = intraprocedural_successors(fig1_program, main)
+    back = dominator_back_edges(main.entry.uid, succs)
+    d, a = main.block("D").uid, main.block("A").uid
+    assert back == [(d, a)]
+
+
+def test_reverse_graph():
+    succs = {1: [2, 3], 2: [3], 3: []}
+    preds = reverse_graph(succs)
+    assert preds[3] == [1, 2]
+    assert preds[1] == []
+
+
+def test_topological_order_rejects_cycles():
+    with pytest.raises(CFGError):
+        topological_order({1: [2], 2: [1]}, 1)
+
+
+def test_topological_order_respects_edges():
+    dag = {1: [2, 3], 2: [4], 3: [4], 4: []}
+    order = topological_order(dag, 1)
+    assert order.index(1) < order.index(2) < order.index(4)
+    assert order.index(1) < order.index(3) < order.index(4)
+
+
+def test_procedure_loops_unknown_name(fig1_program):
+    with pytest.raises(CFGError):
+        procedure_loops(fig1_program, "ghost")

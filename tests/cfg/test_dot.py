@@ -1,0 +1,36 @@
+"""DOT export."""
+
+from repro.cfg import program_to_dot
+
+
+def test_dot_contains_blocks_and_clusters(fig1_program):
+    dot = program_to_dot(fig1_program)
+    assert dot.startswith('digraph "fig1"')
+    assert "subgraph cluster_0" in dot
+    for block in fig1_program.blocks:
+        assert f"n{block.uid}" in dot
+
+
+def test_dot_highlights_heads(fig1_program):
+    dot = program_to_dot(fig1_program)
+    head = next(iter(fig1_program.backward_branch_targets()))
+    head_line = [
+        line for line in dot.splitlines() if line.strip().startswith(f"n{head} ")
+    ][0]
+    assert "gold" in head_line
+
+
+def test_dot_marks_back_edges(fig1_program):
+    dot = program_to_dot(fig1_program)
+    assert "style=dashed" in dot
+
+
+def test_dot_interprocedural_toggle(call_program):
+    full = program_to_dot(call_program)
+    local = program_to_dot(call_program, include_interprocedural=False)
+    assert full.count("->") > local.count("->")
+
+
+def test_dot_no_head_highlight(fig1_program):
+    dot = program_to_dot(fig1_program, highlight_heads=False)
+    assert "gold" not in dot

@@ -1,0 +1,74 @@
+"""Random-program generator invariants."""
+
+import pytest
+
+from repro.cfg import (
+    GeneratorParams,
+    generate_program,
+    intraprocedural_successors,
+    procedure_loops,
+)
+from repro.cfg.analysis import dominator_back_edges
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_programs_validate(seed):
+    program = generate_program(seed=seed, num_procedures=3)
+    assert program.finalized
+    assert program.entry_proc == "main"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_only_backward_branches_are_loop_latches(seed):
+    """Generator layout discipline: address-backward == dominator back edge.
+
+    This property is what lets the Ball–Larus profiler treat runtime
+    backward branches as DAG path ends.
+    """
+    program = generate_program(seed=seed, num_procedures=3)
+    for proc in program.procedures.values():
+        succs = intraprocedural_successors(program, proc)
+        dom_back = set(dominator_back_edges(proc.entry.uid, succs))
+        addr_back = set()
+        for block in proc.blocks:
+            for edge in program.out_edges(block.uid):
+                if edge.backward and not edge.interprocedural:
+                    addr_back.add((edge.src, edge.dst))
+        assert addr_back == dom_back, (seed, proc.name)
+
+
+def test_generated_loops_have_heads():
+    program = generate_program(seed=1, num_procedures=2)
+    total_loops = sum(
+        len(procedure_loops(program, name).loops)
+        for name in program.procedures
+    )
+    heads = program.backward_branch_targets()
+    assert len(heads) >= total_loops or total_loops == 0
+
+
+def test_seed_determinism():
+    one = generate_program(seed=42, num_procedures=3)
+    two = generate_program(seed=42, num_procedures=3)
+    assert [b.label for b in one.blocks] == [b.label for b in two.blocks]
+    assert one.num_instructions == two.num_instructions
+
+
+def test_params_bound_block_sizes():
+    params = GeneratorParams(block_size_min=2, block_size_max=3)
+    program = generate_program(seed=5, params=params, num_procedures=2)
+    body_blocks = [
+        b for b in program.blocks if not b.label.startswith(("exit", "latch"))
+    ]
+    assert all(2 <= b.size <= 3 for b in body_blocks)
+
+
+def test_max_depth_zero_means_straightline_or_calls():
+    params = GeneratorParams(max_depth=0)
+    program = generate_program(seed=7, params=params, num_procedures=1)
+    # Without diamonds/loops/switches, main has no intraprocedural
+    # backward branches.
+    assert not any(
+        edge.backward and not edge.interprocedural
+        for edge in program.edges
+    )

@@ -1,0 +1,50 @@
+"""CSV exporters."""
+
+import csv
+
+from repro.experiments import build_table1, build_table2, sweep_trace
+from repro.experiments.export import (
+    figure5_to_csv,
+    sweep_to_csv,
+    table1_to_csv,
+    table2_to_csv,
+)
+from repro.experiments.figure5 import Figure5Cell
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_sweep_csv(tmp_path, small_deltablue):
+    points = sweep_trace(small_deltablue, delays=(1, 100))
+    target = sweep_to_csv(points, tmp_path / "sweep.csv")
+    rows = _read(target)
+    assert rows[0][0] == "benchmark"
+    assert len(rows) == 1 + len(points)
+    assert {row[1] for row in rows[1:]} == {"path-profile", "net"}
+
+
+def test_figure5_csv(tmp_path):
+    cells = [
+        Figure5Cell("compress", "net", 50, 16.5, False),
+        Figure5Cell("gcc", "net", 50, -2.0, True),
+    ]
+    target = figure5_to_csv(cells, tmp_path / "f5.csv")
+    rows = _read(target)
+    assert rows[1] == ["compress", "net", "50", "16.500000", "0"]
+    assert rows[2][-1] == "1"
+
+
+def test_table_csvs(tmp_path, small_deltablue):
+    traces = {"deltablue": small_deltablue}
+    rows1 = _read(
+        table1_to_csv(build_table1(traces=traces), tmp_path / "t1.csv")
+    )
+    rows2 = _read(
+        table2_to_csv(build_table2(traces=traces), tmp_path / "t2.csv")
+    )
+    assert rows1[1][0] == "deltablue"
+    assert rows2[1][0] == "deltablue"
+    assert rows2[1][2] == "505"  # paper paths column

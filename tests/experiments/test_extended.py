@@ -1,0 +1,79 @@
+"""Extension-study registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.extended import (
+    EXTENDED_IDS,
+    eviction_rows,
+    net_ablation_rows,
+    overhead_rows,
+    retirement_rows,
+    run_extended,
+    showdown_rows,
+)
+
+
+def test_extended_ids():
+    assert set(EXTENDED_IDS) == {
+        "overhead",
+        "ablations",
+        "retirement",
+        "hardware",
+        "showdown",
+        "eviction",
+        "mini-dynamo",
+    }
+
+
+def test_unknown_extended_rejected():
+    with pytest.raises(ExperimentError):
+        run_extended("warpdrive")
+
+
+def test_overhead_rows_structure():
+    rows, num_events = overhead_rows(max_events=50_000)
+    assert num_events > 0
+    schemes = {row.scheme for row in rows}
+    assert "net-heads" in schemes and "bit-tracing" in schemes
+
+
+def test_ablation_rows(small_deltablue):
+    rows = net_ablation_rows({"deltablue": small_deltablue}, delay=20)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.hit_region >= row.hit_single_shot - 1e-9
+    assert 0 <= row.noise_region <= 100
+
+
+def test_retirement_rows_small():
+    rows = retirement_rows(flow=60_000, window=5_000)
+    assert [q.policy for q in rows] == ["never", "idle", "flush-on-spike"]
+    never, idle, _ = rows
+    assert idle.mean_resident <= never.mean_resident
+
+
+def test_showdown_rows(small_deltablue):
+    rows = showdown_rows({"deltablue": small_deltablue})
+    assert rows[0].benchmark == "deltablue"
+
+
+def test_eviction_rows():
+    rows = eviction_rows(flow_scale=0.1, budget=4_000)
+    policies = {row.policy for row in rows}
+    assert policies == {"flush", "fifo"}
+    fifo = next(row for row in rows if row.policy == "fifo")
+    assert fifo.flushes == 0
+
+
+def test_run_extended_renders_text(small_deltablue):
+    text = run_extended("retirement", flow_scale=0.15)
+    assert "retirement" in text.lower() or "Path retirement" in text
+
+
+def test_cli_extended(capsys):
+    from repro.cli import main
+
+    assert main(["extended", "overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "net-heads" in out

@@ -1,0 +1,48 @@
+"""Property-based tests: Ball–Larus numbering on random programs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import GeneratorParams, generate_program, number_program
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(0, 500))
+@_settings
+def test_numbering_bijective_and_chords_consistent(seed):
+    params = GeneratorParams(max_depth=2, max_elements=3)
+    program = generate_program(seed=seed, num_procedures=2, params=params)
+    for name, numbering in number_program(program).items():
+        assert numbering.num_paths >= 1
+        limit = min(numbering.num_paths, 100)
+        decoded = set()
+        for path_id in range(limit):
+            sequence = numbering.decode(path_id)
+            assert numbering.path_id(sequence) == path_id, (seed, name)
+            assert numbering.chord_sum(sequence) == path_id, (seed, name)
+            decoded.add(tuple(sequence))
+        assert len(decoded) == limit
+
+
+@given(seed=st.integers(0, 500))
+@_settings
+def test_chord_count_at_most_edges_minus_tree(seed):
+    """|chords| == |edges| − (spanning tree edges over DAG vertices)."""
+    params = GeneratorParams(max_depth=2, max_elements=3)
+    program = generate_program(seed=seed, num_procedures=2, params=params)
+    for numbering in number_program(program).values():
+        vertices = set()
+        for edge in numbering.edges:
+            vertices.add(edge.src)
+            vertices.add(edge.dst)
+        vertices.add(numbering.virtual_entry)
+        vertices.add(numbering.virtual_exit)
+        # Tree over V vertices has V−1 edges, one of which is the forced
+        # virtual exit→entry edge, so chords = E − (V − 2).
+        expected_chords = len(numbering.edges) - (len(vertices) - 2)
+        assert numbering.num_instrumented_edges == expected_chords

@@ -1,0 +1,112 @@
+"""Property-based tests: path extraction invariants.
+
+For arbitrary generated programs and random decision streams, the
+extractor must (a) partition every executed block into exactly one path,
+(b) start every non-initial path where the previous one handed off, and
+(c) produce signatures that agree with the bit-tracing profiler.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import GeneratorParams, generate_program, procedure_loops
+from repro.profiling import BitTracingProfiler
+from repro.trace import (
+    CFGWalker,
+    RandomOracle,
+    TripCountOracle,
+    extract_paths,
+)
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _bounded_events(program_seed: int, oracle_seed: int, trips: int):
+    params = GeneratorParams(max_depth=2, max_elements=3)
+    program = generate_program(
+        seed=program_seed, num_procedures=2, params=params
+    )
+    trip_counts = {}
+    for name in program.procedures:
+        for header in procedure_loops(program, name).headers:
+            trip_counts[header] = trips
+    oracle = TripCountOracle(
+        RandomOracle(oracle_seed, default_bias=0.5), trip_counts
+    )
+    events = list(CFGWalker(program, oracle).walk(max_events=100_000))
+    return program, events
+
+
+@given(
+    program_seed=st.integers(0, 200),
+    oracle_seed=st.integers(0, 1000),
+    trips=st.integers(0, 8),
+)
+@_settings
+def test_paths_partition_block_entries(program_seed, oracle_seed, trips):
+    program, events = _bounded_events(program_seed, oracle_seed, trips)
+    occurrences, table = extract_paths(program, iter(events))
+    block_entries = 1 + sum(1 for event in events if event.dst != -1)
+    total_path_blocks = sum(
+        table.path(occurrence.path_id).num_blocks
+        for occurrence in occurrences
+    )
+    assert total_path_blocks == block_entries
+
+
+@given(
+    program_seed=st.integers(0, 200),
+    oracle_seed=st.integers(0, 1000),
+    trips=st.integers(0, 8),
+)
+@_settings
+def test_consecutive_paths_chain(program_seed, oracle_seed, trips):
+    """Each path starts at the block the previous transfer targeted."""
+    program, events = _bounded_events(program_seed, oracle_seed, trips)
+    occurrences, table = extract_paths(program, iter(events))
+    paths = [table.path(o.path_id) for o in occurrences]
+    # Rebuild the block-entry sequence and compare against concatenation.
+    entered = [program.entry_block.uid]
+    entered += [event.dst for event in events if event.dst != -1]
+    concatenated = [uid for path in paths for uid in path.blocks]
+    assert concatenated == entered
+
+
+@given(
+    program_seed=st.integers(0, 200),
+    oracle_seed=st.integers(0, 1000),
+    trips=st.integers(0, 8),
+)
+@_settings
+def test_bit_tracing_equals_extractor_frequencies(
+    program_seed, oracle_seed, trips
+):
+    program, events = _bounded_events(program_seed, oracle_seed, trips)
+    occurrences, table = extract_paths(program, iter(events))
+    frequencies = {}
+    for occurrence in occurrences:
+        signature = table.path(occurrence.path_id).signature
+        frequencies[signature] = frequencies.get(signature, 0) + 1
+    report = BitTracingProfiler(program).run(iter(events))
+    assert report.frequencies == frequencies
+
+
+@given(
+    program_seed=st.integers(0, 200),
+    oracle_seed=st.integers(0, 1000),
+    trips=st.integers(1, 8),
+)
+@_settings
+def test_backward_ending_paths_start_next_at_branch_target(
+    program_seed, oracle_seed, trips
+):
+    program, events = _bounded_events(program_seed, oracle_seed, trips)
+    occurrences, table = extract_paths(program, iter(events))
+    heads = program.backward_branch_targets()
+    for previous, current in zip(occurrences, occurrences[1:]):
+        if table.path(previous.path_id).ends_with_backward_branch:
+            assert table.path(current.path_id).start_uid in heads

@@ -1,0 +1,101 @@
+"""Property-based tests: metric identities over random traces."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import evaluate_prediction, hot_path_set
+from repro.prediction import NETPredictor, PathProfilePredictor
+from repro.trace.path import PathTable
+from repro.trace.recorder import PathTrace
+from tests.conftest import make_path
+
+_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_traces(draw):
+    num_paths = draw(st.integers(2, 12))
+    size = draw(st.integers(50, 3000))
+    seed = draw(st.integers(0, 10_000))
+    table = PathTable()
+    ids = []
+    for index in range(num_paths):
+        head = (index % 3) * 50
+        blocks = (head, 1000 + index * 7, 1001 + index * 7)
+        ids.append(
+            make_path(table, head * 4, format(index, "05b"), blocks)
+        )
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(num_paths) * 0.4)
+    sequence = rng.choice(ids, size=size, p=weights)
+    return PathTrace(table, sequence)
+
+
+@given(trace=random_traces(), tau=st.integers(0, 500))
+@_settings
+def test_flow_conservation(trace, tau):
+    """hits + noise + profiled == flow for both schemes at any delay."""
+    hot = hot_path_set(trace, fraction=0.01)
+    for predictor in (PathProfilePredictor(tau), NETPredictor(tau)):
+        quality = evaluate_prediction(trace, hot, predictor.run(trace))
+        assert (
+            quality.hits_flow + quality.noise_flow + quality.profiled_flow
+            == trace.flow
+        )
+        assert quality.hits_flow >= 0
+        assert quality.noise_flow >= 0
+        assert quality.profiled_flow >= 0
+
+
+@given(trace=random_traces(), tau=st.integers(0, 500))
+@_settings
+def test_path_profile_captured_identity(trace, tau):
+    """captured(p) == freq(p) − τ exactly (the paper's closed form)."""
+    outcome = PathProfilePredictor(tau).run(trace)
+    freqs = trace.freqs()
+    for pid, captured in zip(outcome.predicted_ids, outcome.captured):
+        assert captured == freqs[pid] - tau
+
+
+@given(trace=random_traces())
+@_settings
+def test_path_profile_hits_monotone_in_delay(trace):
+    hot = hot_path_set(trace, fraction=0.01)
+    previous = None
+    for tau in (0, 5, 50, 500):
+        quality = evaluate_prediction(
+            trace, hot, PathProfilePredictor(tau).run(trace)
+        )
+        if previous is not None:
+            assert quality.hits_flow <= previous
+        previous = quality.hits_flow
+
+
+@given(trace=random_traces(), tau=st.integers(0, 200))
+@_settings
+def test_net_captures_at_most_path_profile_universe(trace, tau):
+    """NET can never capture flow from a path before its head is hot."""
+    net = NETPredictor(tau).run(trace)
+    freqs = trace.freqs()
+    for pid, captured, time in zip(
+        net.predicted_ids, net.captured, net.prediction_times
+    ):
+        assert 0 < captured <= freqs[pid]
+        assert trace.path_ids[time] == pid  # predicted at own occurrence
+
+
+@given(trace=random_traces(), fraction=st.floats(0.0, 0.5))
+@_settings
+def test_hot_set_consistency(trace, fraction):
+    hot = hot_path_set(trace, fraction=fraction)
+    freqs = trace.freqs()
+    threshold = fraction * trace.flow
+    for pid in range(trace.num_paths):
+        assert hot.hot_mask[pid] == (freqs[pid] > threshold)
+    assert hot.hot_flow == int(freqs[hot.hot_mask].sum())
+    assert 0 <= hot.captured_flow_percent <= 100

@@ -1,0 +1,85 @@
+"""CLI command coverage (all through main(argv), no subprocesses)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "figure5" in out
+
+
+def test_inspect(capsys):
+    assert main(["inspect", "deltablue", "--flow-scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "deltablue" in out
+    assert "HotPath" in out
+
+
+def test_inspect_rejects_unknown_benchmark(capsys):
+    with pytest.raises(SystemExit):
+        main(["inspect", "quake"])
+
+
+def test_experiment_single(capsys, tmp_path):
+    assert main(
+        [
+            "experiment",
+            "table2",
+            "--flow-scale",
+            "0.05",
+            "--out",
+            str(tmp_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert (tmp_path / "table2.txt").exists()
+
+
+def test_experiment_unknown_name(capsys):
+    assert main(["experiment", "figure99", "--flow-scale", "0.05"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_sweep(capsys):
+    assert main(
+        [
+            "sweep",
+            "deltablue",
+            "--flow-scale",
+            "0.05",
+            "--delays",
+            "1",
+            "100",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Delay sweep" in out
+    assert "net" in out and "path-profile" in out
+
+
+def test_dynamo(capsys):
+    assert main(
+        ["dynamo", "deltablue", "--flow-scale", "0.05", "--delays", "10"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "net" in out and "path-profile" in out
+
+
+def test_save_and_info(capsys, tmp_path):
+    target = tmp_path / "db"
+    assert main(
+        ["save-trace", "deltablue", str(target), "--flow-scale", "0.05"]
+    ) == 0
+    assert main(["trace-info", str(target) + ".npz"]) == 0
+    out = capsys.readouterr().out
+    assert "deltablue" in out
+
+
+def test_trace_info_missing_file(capsys, tmp_path):
+    assert main(["trace-info", str(tmp_path / "ghost.npz")]) == 2
+    assert "error:" in capsys.readouterr().err

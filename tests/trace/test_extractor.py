@@ -1,0 +1,126 @@
+"""Path extraction against the paper's §3 path definition."""
+
+import pytest
+
+from repro.trace import (
+    CFGWalker,
+    PathExtractor,
+    ScriptedOracle,
+    extract_paths,
+)
+from repro.errors import TraceError
+
+
+def _run(program, decisions, max_blocks=256):
+    events = CFGWalker(program, ScriptedOracle(decisions)).walk(
+        max_events=10_000
+    )
+    return extract_paths(program, events, max_blocks=max_blocks)
+
+
+def test_fig1_single_iteration_paths(fig1_program):
+    # Taken A->B, D taken back to A (backward, ends path 1);
+    # then A->C (not taken), D not taken -> exit -> halt (path 2).
+    occurrences, table = _run(
+        fig1_program, [True, True, False, False]
+    )
+    assert len(occurrences) == 2
+    first = table.path(occurrences[0].path_id)
+    labels = [fig1_program.block_by_uid(u).label for u in first.blocks]
+    assert labels == ["A", "B", "D"]
+    assert first.ends_with_backward_branch
+    assert first.signature.bits == "11"  # A taken, D taken
+
+    second = table.path(occurrences[1].path_id)
+    labels = [fig1_program.block_by_uid(u).label for u in second.blocks]
+    assert labels == ["A", "C", "D", "exit"]
+    assert not second.ends_with_backward_branch
+    assert second.signature.bits == "00"
+
+
+def test_fig1_paths_partition_flow(fig1_program):
+    decisions = [True, True, False, True, True, True, False, False]
+    occurrences, table = _run(fig1_program, decisions)
+    total_blocks = sum(
+        table.path(o.path_id).num_blocks for o in occurrences
+    )
+    # Walk independently to count block entries.
+    events = list(
+        CFGWalker(fig1_program, ScriptedOracle(decisions)).walk(10_000)
+    )
+    block_entries = 1 + sum(1 for e in events if e.dst != -1)
+    assert total_blocks == block_entries
+
+
+def test_forward_call_terminates_path_at_return(call_program):
+    # entry -> loop(call helper) -> h0 taken -> h1 -> h3 ret -> post
+    # not taken -> done halt.
+    occurrences, table = _run(call_program, [True, False])
+    paths = [table.path(o.path_id) for o in occurrences]
+    labels = [
+        [call_program.block_by_uid(u).label for u in p.blocks]
+        for p in paths
+    ]
+    # Path 1: entry, loop, h0, h1, h3 — terminates at the return.  The
+    # helper is laid out after main, so the return is address-backward
+    # ("unless the call or return is a backward branch").
+    assert labels[0] == ["entry", "loop", "h0", "h1", "h3"]
+    assert paths[0].ends_with_backward_branch
+    # Path 2 resumes at post.
+    assert labels[1][0] == "post"
+
+
+def test_signature_records_call_free_branches_only(call_program):
+    occurrences, table = _run(call_program, [True, False])
+    first = table.path(occurrences[0].path_id)
+    # One conditional executed inside the path (h0); call/jump/fallthrough
+    # contribute no bits.
+    assert first.signature.bits == "1"
+
+
+def test_max_blocks_forces_partition(fig1_program):
+    # Loop forever-ish: 6 iterations, then exit.
+    decisions = []
+    for _ in range(6):
+        decisions += [True, True]
+    decisions += [False, False]
+    occurrences_capped, table_capped = _run(
+        fig1_program, decisions, max_blocks=4
+    )
+    occurrences_free, _ = _run(fig1_program, decisions, max_blocks=None)
+    # The cap may only increase the number of segments.
+    assert len(occurrences_capped) >= len(occurrences_free)
+    # Partition invariant still holds.
+    total = sum(
+        table_capped.path(o.path_id).num_blocks for o in occurrences_capped
+    )
+    events = list(
+        CFGWalker(fig1_program, ScriptedOracle(decisions)).walk(10_000)
+    )
+    assert total == 1 + sum(1 for e in events if e.dst != -1)
+
+
+def test_extractor_rejects_mismatched_events(fig1_program):
+    from repro.cfg.edge import EdgeKind
+    from repro.trace.events import BranchEvent
+
+    extractor = PathExtractor(fig1_program)
+    bogus = [
+        BranchEvent(src=99, dst=0, kind=EdgeKind.JUMP, backward=False)
+    ]
+    with pytest.raises(TraceError):
+        list(extractor.extract(iter(bogus)))
+
+
+def test_extractor_max_blocks_validation(fig1_program):
+    with pytest.raises(TraceError):
+        PathExtractor(fig1_program, max_blocks=0)
+
+
+def test_same_paths_intern_to_same_ids(fig1_program):
+    decisions = [True, True, True, True, False, False]
+    occurrences, _ = _run(fig1_program, decisions)
+    # Two identical loop iterations -> same path id twice.
+    assert occurrences[0].path_id == occurrences[1].path_id
+    assert occurrences[0].index == 0
+    assert occurrences[1].index == 1

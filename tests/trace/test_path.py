@@ -1,0 +1,113 @@
+"""Path signatures, the shift register and the interning table."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
+
+
+def test_signature_from_bits_round_trip():
+    signature = PathSignature.from_bits(12, "0101")
+    assert signature.history == 0b0101
+    assert signature.bit_count == 4
+    assert signature.bits == "0101"
+
+
+def test_signature_preserves_leading_zeros():
+    a = PathSignature.from_bits(0, "001")
+    b = PathSignature.from_bits(0, "01")
+    assert a != b
+    assert a.bits == "001" and b.bits == "01"
+
+
+def test_signature_rejects_overflowing_history():
+    with pytest.raises(TraceError):
+        PathSignature(start_address=0, history=4, bit_count=2)
+    with pytest.raises(TraceError):
+        PathSignature(start_address=0, history=1, bit_count=0)
+
+
+def test_signature_render_includes_indirect_targets():
+    signature = PathSignature.from_bits(7, "11", indirect_targets=(40, 52))
+    assert signature.render() == "7.11,[40,52]"
+
+
+def test_register_builds_signature_like_the_paper():
+    register = SignatureRegister(start_address=0)
+    for bit in (0, 1, 0, 1):
+        register.shift(bit)
+    register.record_indirect(99)
+    snapshot = register.snapshot()
+    assert snapshot == PathSignature.from_bits(0, "0101", (99,))
+
+
+def test_register_rejects_non_bits():
+    register = SignatureRegister(0)
+    with pytest.raises(TraceError):
+        register.shift(2)
+
+
+def test_path_requires_blocks_and_consistent_head():
+    signature = PathSignature.from_bits(0, "1")
+    with pytest.raises(TraceError):
+        Path(
+            signature=signature,
+            blocks=(),
+            start_uid=0,
+            num_instructions=1,
+            num_cond_branches=1,
+            num_indirect_branches=0,
+        )
+    with pytest.raises(TraceError):
+        Path(
+            signature=signature,
+            blocks=(1, 2),
+            start_uid=9,
+            num_instructions=1,
+            num_cond_branches=1,
+            num_indirect_branches=0,
+        )
+
+
+def test_path_head_and_tail():
+    signature = PathSignature.from_bits(0, "1")
+    path = Path(
+        signature=signature,
+        blocks=(5, 6, 7),
+        start_uid=5,
+        num_instructions=9,
+        num_cond_branches=1,
+        num_indirect_branches=0,
+    )
+    assert path.head == 5
+    assert path.tail == (6, 7)
+    assert path.num_blocks == 3
+
+
+def test_table_interns_by_signature():
+    table = PathTable()
+    signature = PathSignature.from_bits(0, "10")
+
+    def build():
+        return Path(
+            signature=signature,
+            blocks=(1, 2),
+            start_uid=1,
+            num_instructions=4,
+            num_cond_branches=2,
+            num_indirect_branches=0,
+        )
+
+    first = table.intern(build())
+    second = table.intern(build())
+    assert first == second
+    assert len(table) == 1
+    assert table.lookup(signature) == first
+    assert table.path(first).blocks == (1, 2)
+
+
+def test_table_lookup_missing_and_bad_id():
+    table = PathTable()
+    assert table.lookup(PathSignature.from_bits(0, "1")) is None
+    with pytest.raises(TraceError):
+        table.path(0)

@@ -1,0 +1,97 @@
+"""PathTrace containers: arrays, masks, slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    CFGWalker,
+    PathTable,
+    PathTrace,
+    ScriptedOracle,
+    record_path_trace,
+)
+from tests.conftest import make_path
+
+
+def test_record_matches_extraction(fig1_program):
+    decisions = [True, True, True, True, False, False]
+    events = CFGWalker(fig1_program, ScriptedOracle(decisions)).walk(1000)
+    trace = record_path_trace(fig1_program, events, name="fig1")
+    assert trace.flow == 3  # two loop iterations + the exit path
+    assert trace.freqs().sum() == 3
+
+
+def test_trace_validates_ids():
+    table = PathTable()
+    make_path(table, 0, "1", (0, 1))
+    with pytest.raises(TraceError):
+        PathTrace(table, [0, 5])
+    with pytest.raises(TraceError):
+        PathTrace(table, [[0], [0]])
+
+
+def test_per_path_arrays():
+    table = PathTable()
+    p0 = make_path(table, 0, "1", (0, 1, 2))
+    p1 = make_path(table, 40, "0", (10, 11))
+    trace = PathTrace(table, [p0, p1, p0])
+    assert list(trace.freqs()) == [2, 1]
+    assert list(trace.start_uids()) == [0, 10]
+    assert list(trace.blocks_per_path()) == [3, 2]
+    assert list(trace.instructions_per_path()) == [9, 6]
+    assert list(trace.head_sequence()) == [0, 10, 0]
+
+
+def test_backward_arrival_mask_uses_previous_path():
+    table = PathTable()
+    ends = make_path(table, 0, "1", (0, 1), ends_backward=True)
+    stops = make_path(table, 40, "0", (10, 11), ends_backward=False)
+    trace = PathTrace(table, [ends, stops, ends, ends])
+    mask = trace.backward_arrival_mask()
+    # First occurrence never arrives via a branch; second follows a
+    # backward-ending path; third follows the non-backward path.
+    assert list(mask) == [False, True, False, True]
+
+
+def test_dynamic_head_uids():
+    table = PathTable()
+    a = make_path(table, 0, "1", (0, 1))
+    b = make_path(table, 40, "0", (10, 11))
+    trace = PathTrace(table, [a, b, a, b])
+    # Arrivals via backward branches land at heads 10, 0, 10.
+    assert trace.dynamic_head_uids() == {0, 10}
+
+
+def test_slice_and_concat():
+    table = PathTable()
+    a = make_path(table, 0, "1", (0, 1))
+    b = make_path(table, 40, "0", (10, 11))
+    trace = PathTrace(table, [a, a, b, b])
+    head = trace.slice(0, 2)
+    tail = trace.slice(2, 4)
+    assert head.flow == 2 and list(head.freqs()) == [2, 0]
+    merged = head.concat(tail)
+    assert merged.flow == 4
+    assert np.array_equal(merged.path_ids, trace.path_ids)
+
+
+def test_concat_requires_shared_table():
+    table_a, table_b = PathTable(), PathTable()
+    a = make_path(table_a, 0, "1", (0, 1))
+    b = make_path(table_b, 0, "1", (0, 1))
+    with pytest.raises(TraceError):
+        PathTrace(table_a, [a]).concat(PathTrace(table_b, [b]))
+
+
+def test_summarize(fig1_program):
+    from repro.trace import summarize
+
+    decisions = [True, True, True, True, False, False]
+    events = CFGWalker(fig1_program, ScriptedOracle(decisions)).walk(1000)
+    trace = record_path_trace(fig1_program, events, name="fig1")
+    summary = summarize(trace)
+    assert summary.flow == 3
+    assert summary.num_paths == 2
+    assert summary.num_unique_heads == 1
+    assert "fig1" in summary.render()

@@ -1,0 +1,97 @@
+"""CFG walker and oracles."""
+
+import pytest
+
+from repro.cfg import ProgramBuilder
+from repro.errors import MachineLimitExceeded, TraceError
+from repro.trace import (
+    CFGWalker,
+    RandomOracle,
+    ScriptedOracle,
+    TripCountOracle,
+)
+from repro.trace.events import HALT_DST
+
+
+def test_walker_requires_finalized_program():
+    from repro.cfg.program import Program
+
+    with pytest.raises(TraceError):
+        CFGWalker(Program(), RandomOracle(0))
+
+
+def test_walk_emits_halt_last(fig1_program):
+    events = list(
+        CFGWalker(fig1_program, ScriptedOracle([False, False])).walk(100)
+    )
+    assert events[-1].dst == HALT_DST
+
+
+def test_walk_budget(fig1_program):
+    oracle = RandomOracle(0, default_bias=1.0)  # loops forever
+    with pytest.raises(MachineLimitExceeded):
+        list(CFGWalker(fig1_program, oracle).walk(max_events=50))
+
+
+def test_trip_count_oracle_bounds_loops(fig1_program):
+    main = fig1_program.procedures["main"]
+    d_uid = main.block("D").uid
+    oracle = TripCountOracle(RandomOracle(0), {d_uid: 3})
+    events = list(CFGWalker(fig1_program, oracle).walk(10_000))
+    backward = [e for e in events if e.backward]
+    assert len(backward) == 3  # exactly three loop-back transfers
+
+
+def test_trip_count_oracle_resets(call_program):
+    main = call_program.procedures["main"]
+    post = main.block("post").uid
+    helper_head = call_program.procedures["helper"].block("h0").uid
+    oracle = TripCountOracle(
+        RandomOracle(1, default_bias=0.5), {post: 2}
+    )
+    events = list(CFGWalker(call_program, oracle).walk(10_000))
+    # post taken twice -> loop runs 3 times -> helper entered 3 times.
+    calls = [e for e in events if e.is_call]
+    assert len(calls) == 3
+    assert all(e.dst == helper_head for e in calls)
+
+
+def test_trip_count_rejects_negative():
+    with pytest.raises(TraceError):
+        TripCountOracle(RandomOracle(0), {1: -1})
+
+
+def test_scripted_oracle_type_checks(fig1_program):
+    with pytest.raises(TraceError):
+        list(CFGWalker(fig1_program, ScriptedOracle([1])).walk(100))
+    with pytest.raises(TraceError):  # runs out of decisions
+        list(CFGWalker(fig1_program, ScriptedOracle([True])).walk(100))
+
+
+def test_random_oracle_determinism(fig1_program):
+    events_a = list(CFGWalker(fig1_program, RandomOracle(9)).walk(1000))
+    events_b = list(CFGWalker(fig1_program, RandomOracle(9)).walk(1000))
+    assert events_a == events_b
+
+
+def test_indirect_walks_cover_targets():
+    builder = ProgramBuilder("switchy")
+    main = builder.procedure("main")
+    main.block("top", size=1).cond(taken="sw", fallthrough="done")
+    main.block("sw", size=1).indirect("arm0", "arm1", "arm2")
+    main.block("arm0", size=1).jump("latch")
+    main.block("arm1", size=1).jump("latch")
+    main.block("arm2", size=1).jump("latch")
+    main.block("latch", size=1).jump("top")
+    main.block("done", size=1).halt()
+    program = builder.build()
+    top = program.procedures["main"].block("top").uid
+    oracle = TripCountOracle(RandomOracle(3), {top: 50})
+    events = list(CFGWalker(program, oracle).walk(100_000))
+    indirect_targets = {
+        e.dst for e in events if e.kind.value == "indirect"
+    }
+    arms = {
+        program.procedures["main"].block(f"arm{i}").uid for i in range(3)
+    }
+    assert indirect_targets == arms  # all switch arms exercised

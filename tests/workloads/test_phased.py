@@ -1,0 +1,46 @@
+"""Phased workloads: phase structure and working-set rotation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics import hot_path_set
+from repro.workloads.phased import load_phased, phase_boundaries, phased_config
+
+
+def test_phase_boundaries():
+    config = phased_config(num_phases=4, flow=40_000)
+    assert phase_boundaries(config) == [10_000, 20_000, 30_000]
+
+
+def test_needs_two_phases():
+    with pytest.raises(WorkloadError):
+        phased_config(num_phases=1)
+
+
+def test_working_sets_rotate():
+    workload = load_phased(num_phases=3, flow=90_000, seed=5)
+    trace = workload.trace()
+    thirds = [
+        trace.slice(0, 30_000),
+        trace.slice(30_000, 60_000),
+        trace.slice(60_000, 90_000),
+    ]
+    hot_sets = [
+        set(map(int, hot_path_set(t, 0.002).hot_ids())) for t in thirds
+    ]
+    # Consecutive phases share only the background working set.
+    overlap_01 = len(hot_sets[0] & hot_sets[1])
+    assert overlap_01 < 0.5 * len(hot_sets[0])
+    assert overlap_01 < 0.5 * len(hot_sets[1])
+
+
+def test_phase_hot_paths_invisible_to_accumulated_profile():
+    from repro.experiments.phases import phase_local_hot_paths
+
+    workload = load_phased(num_phases=4, flow=120_000, seed=7)
+    trace = workload.trace()
+    missed, accumulated = phase_local_hot_paths(
+        trace, phase_boundaries(workload.config)
+    )
+    assert missed > 0
+    assert accumulated > 0
