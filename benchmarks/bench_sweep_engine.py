@@ -1,0 +1,70 @@
+"""Times the sweep engine on the Figure 2 sweep: cold-serial vs
+cold-parallel vs warm-cache.
+
+One full-scale sweep is 9 benchmarks × 17 delays × 2 schemes = 306
+trace replays, historically the repo's hottest path.  This bench runs
+it three ways — serial replays, process-pool replays, and a rerun
+served entirely from the on-disk result cache — asserts all three
+produce identical points, and records the timings in
+``benchmarks/results/sweep_engine.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.experiments.engine import SweepCache, run_sweep
+from repro.experiments.report import fmt, render_table
+
+#: Process-pool size for the cold-parallel leg.
+WORKERS = 2
+
+
+def _timed(runner) -> tuple[float, list]:
+    start = time.perf_counter()
+    points = runner()
+    return time.perf_counter() - start, points
+
+
+def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
+    cache = SweepCache(engine_cache_dir / "figure2")
+
+    serial_s, serial = _timed(lambda: run_sweep(full_traces))
+    parallel_s, parallel = _timed(
+        lambda: run_sweep(full_traces, workers=WORKERS)
+    )
+    cold_s, cold = _timed(lambda: run_sweep(full_traces, cache=cache))
+    warm_s, warm = _timed(lambda: run_sweep(full_traces, cache=cache))
+
+    assert parallel == serial
+    assert cold == serial
+    assert warm == serial
+    # The warm leg replayed nothing: every cell was a cache hit.
+    cells = len(serial)
+    assert cache.stats.hits == cells
+    assert cache.stats.misses == cells  # all from the cold leg
+    assert cache.stats.stores == cells
+
+    rows = [
+        ["cold serial", fmt(serial_s, 2), fmt(1.0, 2)],
+        [f"cold parallel (workers={WORKERS})", fmt(parallel_s, 2),
+         fmt(serial_s / parallel_s, 2)],
+        ["cold serial + cache fill", fmt(cold_s, 2),
+         fmt(serial_s / cold_s, 2)],
+        ["warm cache", fmt(warm_s, 2), fmt(serial_s / warm_s, 2)],
+    ]
+    emit(
+        results_dir,
+        "sweep_engine",
+        render_table(
+            headers=["mode", "seconds", "speedup vs cold serial"],
+            rows=rows,
+            title=(
+                f"Sweep engine: Figure 2 sweep ({cells} cells), "
+                "cold vs parallel vs warm-cache"
+            ),
+        )
+        + f"\n{cache.stats.render()}",
+    )

@@ -37,6 +37,12 @@ def sweep_curves(full_traces):
     return build_figure2(traces=full_traces)
 
 
+@pytest.fixture(scope="session")
+def engine_cache_dir(tmp_path_factory) -> pathlib.Path:
+    """A fresh sweep-cache root, so engine benches always start cold."""
+    return tmp_path_factory.mktemp("sweep-cache")
+
+
 def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Write one experiment's artifact and echo it."""
     path = results_dir / f"{name}.txt"

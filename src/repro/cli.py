@@ -24,7 +24,8 @@ import sys
 
 from repro.dynamo import DynamoSystem
 from repro.errors import ReproError
-from repro.experiments import EXPERIMENT_IDS, run_experiment, sweep_trace
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.extended import EXTENDED_IDS, run_extended
 from repro.experiments.report import render_table
 from repro.metrics import counter_space, hot_path_set
@@ -52,16 +53,31 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_cache(args: argparse.Namespace) -> SweepCache | None:
+    """The sweep cache the flags ask for (``None`` with ``--no-cache``)."""
+    if args.no_cache:
+        return None
+    return SweepCache(args.cache_dir)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     names = args.names or list(EXPERIMENT_IDS)
+    cache = _engine_cache(args)
     for name in names:
-        text = run_experiment(name, flow_scale=args.flow_scale)
+        text = run_experiment(
+            name,
+            flow_scale=args.flow_scale,
+            workers=args.workers,
+            cache=cache,
+        )
         print(text)
         print()
         if out_dir is not None:
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{name}.txt").write_text(text + "\n")
+    if cache is not None and cache.stats.lookups:
+        print(cache.stats.render(), file=sys.stderr)
     return 0
 
 
@@ -75,10 +91,11 @@ def _cmd_extended(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
-    delays = tuple(args.delays) if args.delays else None
-    points = (
-        sweep_trace(trace, delays=delays) if delays else sweep_trace(trace)
-    )
+    cache = _engine_cache(args)
+    kwargs = {"workers": args.workers, "cache": cache}
+    if args.delays:
+        kwargs["delays"] = tuple(args.delays)
+    points = run_sweep({trace.name: trace}, **kwargs)
     rows = [
         [
             point.scheme,
@@ -104,6 +121,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Delay sweep: {trace.name}",
         )
     )
+    if cache is not None and cache.stats.lookups:
+        print(cache.stats.render(), file=sys.stderr)
     return 0
 
 
@@ -152,6 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="shrink/grow the workload flow (default 1.0)",
         )
 
+    def add_engine_flags(p):
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="sweep worker processes (0 = serial, the default)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="sweep result cache directory (default: .repro-cache)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the sweep result cache",
+        )
+
     inspect = sub.add_parser("inspect", help="summarize one benchmark")
     inspect.add_argument("benchmark", choices=BENCHMARK_ORDER)
     add_flow_scale(inspect)
@@ -167,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--out", help="directory for .txt artifacts")
     add_flow_scale(experiment)
+    add_engine_flags(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     extended = sub.add_parser(
@@ -184,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("benchmark", choices=BENCHMARK_ORDER)
     sweep.add_argument("--delays", type=int, nargs="+")
     add_flow_scale(sweep)
+    add_engine_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     dynamo = sub.add_parser("dynamo", help="Dynamo simulation cells")

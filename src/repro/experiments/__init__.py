@@ -12,6 +12,14 @@ from repro.experiments.claims import (
     render_claims,
 )
 from repro.experiments.data import benchmark_traces
+from repro.experiments.engine import (
+    CacheStats,
+    SweepCache,
+    SweepTask,
+    plan_sweep,
+    run_sweep,
+    trace_digest,
+)
 from repro.experiments.figure2 import (
     FigureCurves,
     build_figure2,
@@ -34,6 +42,7 @@ from repro.experiments.phases import (
 )
 from repro.experiments.registry import (
     EXPERIMENT_IDS,
+    SWEEP_EXPERIMENTS,
     run_experiment,
 )
 from repro.experiments.report import render_table
@@ -52,12 +61,16 @@ __all__ = [
     "DEFAULT_DELAYS",
     "EXPERIMENT_IDS",
     "FIGURE5_DELAYS",
+    "SWEEP_EXPERIMENTS",
+    "CacheStats",
     "ClaimResult",
     "Figure4Bar",
     "Figure5Cell",
     "FigureCurves",
     "PhaseReport",
+    "SweepCache",
     "SweepPoint",
+    "SweepTask",
     "Table1Row",
     "Table2Row",
     "average_curve",
@@ -71,6 +84,7 @@ __all__ = [
     "build_table2",
     "evaluate_claims",
     "interpolate_at_profiled",
+    "plan_sweep",
     "prediction_rate_series",
     "profiled_needed_for_noise",
     "render_claims",
@@ -84,6 +98,8 @@ __all__ = [
     "render_table2",
     "run_experiment",
     "run_phase_experiment",
+    "run_sweep",
     "scheme_curve",
     "sweep_trace",
+    "trace_digest",
 ]

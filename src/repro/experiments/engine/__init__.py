@@ -1,0 +1,39 @@
+"""The sweep execution engine: planner, executor, result cache.
+
+Every Figure 2/3-style delay sweep funnels through
+:func:`~repro.experiments.engine.executor.run_sweep`, which decomposes
+the sweep into independent (benchmark, scheme, τ) tasks, serves cached
+cells from a content-addressed on-disk store, replays the rest —
+optionally on a process pool — and reassembles the canonical result
+order.  See ``docs/sweep_engine.md`` for the design and the determinism
+and invalidation guarantees.
+"""
+
+from repro.experiments.engine.cache import (
+    CODE_VERSION,
+    CacheStats,
+    SweepCache,
+    cache_key,
+    trace_digest,
+)
+from repro.experiments.engine.executor import DEFAULT_CHUNK_SIZE, run_sweep
+from repro.experiments.engine.planner import (
+    SweepTask,
+    chunk_tasks,
+    group_by_benchmark,
+    plan_sweep,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "DEFAULT_CHUNK_SIZE",
+    "CacheStats",
+    "SweepCache",
+    "SweepTask",
+    "cache_key",
+    "chunk_tasks",
+    "group_by_benchmark",
+    "plan_sweep",
+    "run_sweep",
+    "trace_digest",
+]

@@ -1,0 +1,240 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A sweep cell's result is a pure function of three inputs: the trace
+content, the scheme, and the prediction delay — plus the code that
+computes it.  The cache keys every :class:`~repro.experiments.sweep.SweepPoint`
+by a SHA-256 digest over exactly those inputs:
+
+* :func:`trace_digest` — the trace's name, its full path table (every
+  static attribute, via :func:`repro.trace.io.path_record`) and the raw
+  occurrence array.  Any change to the workload generator's output
+  changes the digest, so stale results can never be served for a
+  regenerated trace.
+* the scheme name and τ;
+* :data:`CODE_VERSION` — a manual tag naming the semantics of the
+  predictor/metric pipeline.  Bump it whenever a change to the
+  predictors, the quality metrics, or the hot-set definition alters
+  what a sweep cell *means*; every previously cached entry then misses
+  and is recomputed.
+
+Entries are one JSON file per key under the cache root (created
+lazily), written atomically via a temp file + ``os.replace``.  The
+cache is strictly best-effort: a missing, unreadable, truncated or
+corrupt entry is logged, counted as an invalidation and treated as a
+miss — the engine recomputes and overwrites.  Cache failures never
+propagate to the experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+
+from repro.experiments.sweep import SweepPoint
+from repro.trace.io import path_record
+from repro.trace.recorder import PathTrace
+
+logger = logging.getLogger(__name__)
+
+#: Semantic version of the sweep pipeline, mixed into every cache key.
+#: Bump on any change to predictors, metrics, or the hot-set definition.
+CODE_VERSION = "sweep-engine-v1"
+
+#: On-disk layout version of one cache entry file.
+ENTRY_FORMAT = 1
+
+
+def trace_digest(trace: PathTrace) -> str:
+    """Stable content digest of a trace.
+
+    Covers the name (it appears verbatim in every result), the complete
+    path table and the occurrence sequence.  Two traces with equal
+    digests produce identical sweep results.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(trace.name.encode("utf-8"))
+    hasher.update(b"\x00")
+    table_blob = json.dumps(
+        [path_record(path) for path in trace.table],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    hasher.update(table_blob.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(str(trace.path_ids.dtype).encode("utf-8"))
+    hasher.update(trace.path_ids.tobytes())
+    return hasher.hexdigest()
+
+
+def cache_key(
+    trace_digest_hex: str,
+    scheme: str,
+    delay: int,
+    version: str = CODE_VERSION,
+) -> str:
+    """Content address of one sweep cell."""
+    payload = json.dumps(
+        {
+            "trace": trace_digest_hex,
+            "scheme": scheme,
+            "delay": int(delay),
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`SweepCache` instance.
+
+    ``misses`` counts every lookup that forced a recompute (including
+    the ones caused by invalidation); ``invalidations`` counts entries
+    discarded because they could not be read back.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls served."""
+        return self.hits + self.misses
+
+    def render(self) -> str:
+        """One-line report form."""
+        return (
+            f"sweep cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.invalidations} invalidated"
+        )
+
+
+def _point_from_payload(payload: dict) -> SweepPoint:
+    """Rebuild a SweepPoint, coercing every field to its exact type."""
+    return SweepPoint(
+        benchmark=str(payload["benchmark"]),
+        scheme=str(payload["scheme"]),
+        delay=int(payload["delay"]),
+        profiled_flow_percent=float(payload["profiled_flow_percent"]),
+        hit_rate=float(payload["hit_rate"]),
+        noise_rate=float(payload["noise_rate"]),
+        num_predicted=int(payload["num_predicted"]),
+        num_predicted_hot=int(payload["num_predicted_hot"]),
+    )
+
+
+def _point_to_payload(point: SweepPoint) -> dict:
+    return {
+        "benchmark": point.benchmark,
+        "scheme": point.scheme,
+        "delay": point.delay,
+        "profiled_flow_percent": point.profiled_flow_percent,
+        "hit_rate": point.hit_rate,
+        "noise_rate": point.noise_rate,
+        "num_predicted": point.num_predicted,
+        "num_predicted_hot": point.num_predicted_hot,
+    }
+
+
+class SweepCache:
+    """Content-addressed store of sweep points under one directory.
+
+    The root directory is created lazily on the first store, so pointing
+    the engine at a fresh path costs nothing until a result exists.
+    """
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+
+    def entry_path(self, key: str) -> pathlib.Path:
+        """Where ``key``'s entry lives (whether or not it exists)."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> SweepPoint | None:
+        """The cached point for ``key``, or ``None`` on miss.
+
+        Unreadable or corrupt entries degrade to a miss: the problem is
+        logged, the entry discarded and counted in
+        :attr:`CacheStats.invalidations`.
+        """
+        path = self.entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as error:
+            logger.warning(
+                "sweep cache: unreadable entry %s (%s); recomputing",
+                path,
+                error,
+            )
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+            if entry["entry_format"] != ENTRY_FORMAT:
+                raise ValueError(
+                    f"entry format {entry['entry_format']!r} != {ENTRY_FORMAT}"
+                )
+            if entry["key"] != key:
+                raise ValueError("entry key does not match its address")
+            point = _point_from_payload(entry["point"])
+        except (ValueError, KeyError, TypeError) as error:
+            logger.warning(
+                "sweep cache: corrupt entry %s (%s); recomputing",
+                path,
+                error,
+            )
+            self._discard(path)
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return point
+
+    def put(self, key: str, point: SweepPoint) -> None:
+        """Store ``point`` under ``key`` (atomic, best-effort)."""
+        entry = {
+            "entry_format": ENTRY_FORMAT,
+            "key": key,
+            "code_version": CODE_VERSION,
+            "point": _point_to_payload(point),
+        }
+        path = self.entry_path(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:12]}.", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._discard(pathlib.Path(tmp_name))
+                raise
+        except OSError as error:
+            logger.warning(
+                "sweep cache: could not store entry %s (%s)", path, error
+            )
+            return
+        self.stats.stores += 1
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone or unwritable
+            pass

@@ -1,0 +1,150 @@
+"""Sweep execution: cache lookup, parallel replay, deterministic assembly.
+
+:func:`run_sweep` is the one entry point every delay sweep goes
+through.  It plans the (benchmark, scheme, τ) grid, serves whatever the
+cache already holds, replays only the remaining cells — serially or on
+a :class:`~concurrent.futures.ProcessPoolExecutor` — and assembles the
+results back into the canonical order by task index.
+
+Determinism guarantee: each cell is a pure function of its trace and
+coordinates, computed by the same :func:`_run_cells` code path in every
+mode, and the output list is ordered by the planner's canonical index
+rather than by completion order.  Serial, parallel and cached runs of
+the same sweep therefore return *equal* point lists, and every rendered
+figure built from them is byte-identical — a property the equivalence
+test-suite locks down.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.engine.cache import SweepCache, cache_key, trace_digest
+from repro.experiments.engine.planner import (
+    SweepTask,
+    chunk_tasks,
+    group_by_benchmark,
+    plan_sweep,
+)
+from repro.experiments.sweep import (
+    DEFAULT_DELAYS,
+    SCHEMES,
+    SweepPoint,
+    make_predictor,
+)
+from repro.errors import ExperimentError
+from repro.metrics.hotpaths import hot_path_set
+from repro.metrics.quality import evaluate_prediction
+from repro.trace.recorder import PathTrace
+
+#: Cells per unit of parallel work.  One chunk ships its trace to a
+#: worker once; 8 cells ≈ half a scheme's delay column, small enough to
+#: spread one benchmark across workers, large enough to amortize the
+#: trace transfer.
+DEFAULT_CHUNK_SIZE = 8
+
+
+def _run_cells(
+    trace: PathTrace, cells: list[tuple[str, int]]
+) -> list[SweepPoint]:
+    """Replay a batch of (scheme, τ) cells on one trace.
+
+    Top-level so the process pool can pickle it.  The hot set is
+    recomputed per batch — it is a deterministic bincount, orders of
+    magnitude cheaper than one replay.
+    """
+    hot = hot_path_set(trace)
+    points = []
+    for scheme, delay in cells:
+        outcome = make_predictor(scheme, delay).run(trace)
+        quality = evaluate_prediction(trace, hot, outcome)
+        points.append(SweepPoint.from_quality(trace.name, quality))
+    return points
+
+
+def _execute_batches(
+    traces: dict[str, PathTrace],
+    batches: list[list[SweepTask]],
+    workers: int,
+) -> list[list[SweepPoint]]:
+    """Run every batch, parallel when ``workers`` > 0, and keep order."""
+    arguments = [
+        (traces[batch[0].benchmark], [task.cell for task in batch])
+        for batch in batches
+    ]
+    if workers > 0:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_cells, trace, cells)
+                for trace, cells in arguments
+            ]
+            return [future.result() for future in futures]
+    return [_run_cells(trace, cells) for trace, cells in arguments]
+
+
+def run_sweep(
+    traces: dict[str, PathTrace],
+    schemes: tuple[str, ...] = SCHEMES,
+    delays: tuple[int, ...] = DEFAULT_DELAYS,
+    workers: int = 0,
+    cache: SweepCache | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[SweepPoint]:
+    """Measure every (benchmark, scheme, τ) cell of a sweep.
+
+    Parameters
+    ----------
+    traces:
+        Benchmark name → trace; the iteration order fixes the output
+        order (as in the historical serial sweep).
+    workers:
+        Process-pool size; ``0`` (the default) runs serially in-process.
+    cache:
+        Optional :class:`SweepCache`.  Cached cells are served without
+        replay; computed cells are stored back.  Hit/miss accounting
+        accumulates on ``cache.stats``.
+    chunk_size:
+        Cells per scheduled unit of parallel work.
+    """
+    if workers < 0:
+        raise ExperimentError(f"workers must be >= 0, got {workers}")
+    tasks = plan_sweep(list(traces), schemes=schemes, delays=delays)
+    results: list[SweepPoint | None] = [None] * len(tasks)
+
+    keys: dict[int, str] = {}
+    if cache is not None:
+        digests = {
+            name: trace_digest(trace) for name, trace in traces.items()
+        }
+        pending = []
+        for task in tasks:
+            key = cache_key(digests[task.benchmark], task.scheme, task.delay)
+            keys[task.index] = key
+            point = cache.get(key)
+            if point is None:
+                pending.append(task)
+            else:
+                results[task.index] = point
+    else:
+        pending = list(tasks)
+
+    if pending:
+        # One batch per benchmark when serial (one hot set per trace,
+        # like the historical loop); chunked batches when parallel so a
+        # single benchmark's cells can spread across workers.
+        batches = [
+            chunk
+            for group in group_by_benchmark(pending).values()
+            for chunk in (
+                chunk_tasks(group, chunk_size) if workers > 0 else [group]
+            )
+        ]
+        for batch, points in zip(
+            batches, _execute_batches(traces, batches, workers)
+        ):
+            for task, point in zip(batch, points):
+                results[task.index] = point
+                if cache is not None:
+                    cache.put(keys[task.index], point)
+
+    return [point for point in results if point is not None]

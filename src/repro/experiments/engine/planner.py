@@ -1,0 +1,107 @@
+"""Sweep task planning: the canonical decomposition of a delay sweep.
+
+A prediction-delay sweep is a dense grid of *independent* cells — one
+(benchmark, scheme, τ) measurement each.  Nothing in the paper's
+evaluation couples two cells: every cell replays its trace from scratch
+with its own predictor instance, so the grid can be scheduled in any
+order on any number of workers.
+
+What must stay fixed is the *presentation* order.  The planner pins a
+canonical order — benchmark, then scheme, then delay, exactly the
+serial ``sweep_trace`` loop nest — and stamps every task with its index
+in that order.  The executor assembles results by task index, which is
+how a parallel sweep ends up byte-identical to a serial one no matter
+how the tasks were scheduled (see :mod:`repro.experiments.engine.executor`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import DEFAULT_DELAYS, SCHEMES
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent sweep cell plus its canonical position."""
+
+    benchmark: str
+    scheme: str
+    delay: int
+    #: Position in the canonical (benchmark, scheme, delay) order; the
+    #: executor writes this task's result at ``results[index]``.
+    index: int
+
+    @property
+    def cell(self) -> tuple[str, int]:
+        """The (scheme, delay) coordinates within the task's benchmark."""
+        return (self.scheme, self.delay)
+
+
+def plan_sweep(
+    benchmarks: Sequence[str],
+    schemes: tuple[str, ...] = SCHEMES,
+    delays: tuple[int, ...] = DEFAULT_DELAYS,
+) -> list[SweepTask]:
+    """Decompose a sweep into tasks in canonical order.
+
+    The order matches the serial ``sweep_trace`` loop nest (benchmarks
+    outermost, delays innermost), so a result list assembled by task
+    index is identical to the historical serial output.
+    """
+    if not benchmarks:
+        raise ExperimentError("sweep plan needs at least one benchmark")
+    if not schemes or not delays:
+        raise ExperimentError(
+            "sweep plan needs at least one scheme and one delay"
+        )
+    if len(set(benchmarks)) != len(benchmarks):
+        raise ExperimentError("sweep plan benchmarks must be distinct")
+    tasks: list[SweepTask] = []
+    for benchmark in benchmarks:
+        for scheme in schemes:
+            for delay in delays:
+                tasks.append(
+                    SweepTask(
+                        benchmark=benchmark,
+                        scheme=scheme,
+                        delay=delay,
+                        index=len(tasks),
+                    )
+                )
+    return tasks
+
+
+def group_by_benchmark(
+    tasks: Sequence[SweepTask],
+) -> dict[str, list[SweepTask]]:
+    """Tasks bucketed per benchmark, preserving canonical order.
+
+    A batch of cells sharing one benchmark ships that benchmark's trace
+    to a worker exactly once, which keeps the serialization cost per
+    scheduled unit at one trace rather than one per cell.
+    """
+    groups: dict[str, list[SweepTask]] = {}
+    for task in tasks:
+        groups.setdefault(task.benchmark, []).append(task)
+    return groups
+
+
+def chunk_tasks(
+    tasks: Sequence[SweepTask], chunk_size: int
+) -> list[list[SweepTask]]:
+    """Split one benchmark's task list into scheduling chunks.
+
+    Smaller chunks spread one benchmark's cells over several workers;
+    larger chunks amortize trace transfer.  Order within and across
+    chunks stays canonical.
+    """
+    if chunk_size < 1:
+        raise ExperimentError(f"chunk size must be positive, got {chunk_size}")
+    return [
+        list(tasks[start : start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]

@@ -11,13 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.data import benchmark_traces
+from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.report import fmt, render_table
 from repro.experiments.sweep import (
     DEFAULT_DELAYS,
     SweepPoint,
     average_curve,
     scheme_curve,
-    sweep_trace,
 )
 from repro.trace.recorder import PathTrace
 from repro.workloads.spec import BENCHMARK_ORDER
@@ -71,13 +71,18 @@ def build_figure2(
     traces: dict[str, PathTrace] | None = None,
     flow_scale: float = 1.0,
     delays: tuple[int, ...] = DEFAULT_DELAYS,
+    workers: int = 0,
+    cache: SweepCache | None = None,
 ) -> FigureCurves:
-    """Sweep every benchmark with both schemes."""
+    """Sweep every benchmark with both schemes.
+
+    The sweep runs on the engine: ``workers`` > 0 replays cells on a
+    process pool and ``cache`` serves previously computed cells — both
+    produce output identical to the serial, uncached sweep.
+    """
     if traces is None:
         traces = benchmark_traces(flow_scale=flow_scale)
-    points: list[SweepPoint] = []
-    for trace in traces.values():
-        points.extend(sweep_trace(trace, delays=delays))
+    points = run_sweep(traces, delays=delays, workers=workers, cache=cache)
     return FigureCurves(points=points, delays=delays)
 
 

@@ -4,6 +4,11 @@
 text rendering; ``EXPERIMENT_IDS`` lists what is available.  The
 benchmark harness and the examples go through this registry so there is
 exactly one code path per experiment.
+
+Sweep-backed experiments (figure2, figure3, claims) run on the sweep
+engine: ``workers`` parallelizes the trace replays and a shared
+``cache`` lets consecutive experiments reuse each other's cells —
+regenerating Figure 3 right after Figure 2 replays nothing.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from collections.abc import Callable
 
 from repro.errors import ExperimentError
 from repro.experiments.claims import evaluate_claims, render_claims
-from repro.experiments.data import benchmark_traces
+from repro.experiments.engine import SweepCache
 from repro.experiments.figure2 import build_figure2, render_figure2
 from repro.experiments.figure3 import build_figure3, render_figure3
 from repro.experiments.figure4 import build_figure4, render_figure4
@@ -26,27 +31,31 @@ from repro.experiments.table1 import build_table1, render_table1
 from repro.experiments.table2 import build_table2, render_table2
 
 
-def _run_table1(flow_scale: float) -> str:
+def _run_table1(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
     return render_table1(build_table1(flow_scale=flow_scale))
 
 
-def _run_table2(flow_scale: float) -> str:
+def _run_table2(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
     return render_table2(build_table2(flow_scale=flow_scale))
 
 
-def _run_figure2(flow_scale: float) -> str:
-    return render_figure2(build_figure2(flow_scale=flow_scale))
+def _run_figure2(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+    return render_figure2(
+        build_figure2(flow_scale=flow_scale, workers=workers, cache=cache)
+    )
 
 
-def _run_figure3(flow_scale: float) -> str:
-    return render_figure3(build_figure3(flow_scale=flow_scale))
+def _run_figure3(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+    return render_figure3(
+        build_figure3(flow_scale=flow_scale, workers=workers, cache=cache)
+    )
 
 
-def _run_figure4(flow_scale: float) -> str:
+def _run_figure4(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
     return render_figure4(build_figure4(flow_scale=flow_scale))
 
 
-def _run_figure5(flow_scale: float) -> str:
+def _run_figure5(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
     text = render_figure5(build_figure5(flow_scale=flow_scale))
     bails = bail_out_report(flow_scale=flow_scale)
     lines = [text, "", "Bail-outs (excluded from the figure, τ=50):"]
@@ -55,17 +64,17 @@ def _run_figure5(flow_scale: float) -> str:
     return "\n".join(lines)
 
 
-def _run_claims(flow_scale: float) -> str:
-    traces = benchmark_traces(flow_scale=flow_scale)
-    return render_claims(evaluate_claims(traces=traces))
+def _run_claims(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+    curves = build_figure2(flow_scale=flow_scale, workers=workers, cache=cache)
+    return render_claims(evaluate_claims(curves=curves))
 
 
-def _run_phases(flow_scale: float) -> str:
+def _run_phases(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
     flow = max(int(400_000 * flow_scale), 20_000)
     return render_phase_report(run_phase_experiment(flow=flow))
 
 
-EXPERIMENTS: dict[str, Callable[[float], str]] = {
+EXPERIMENTS: dict[str, Callable[[float, int, SweepCache | None], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "figure2": _run_figure2,
@@ -79,9 +88,21 @@ EXPERIMENTS: dict[str, Callable[[float], str]] = {
 #: Public list of regenerable experiments.
 EXPERIMENT_IDS = tuple(EXPERIMENTS)
 
+#: Experiments whose data is a delay sweep (and thus engine-accelerated).
+SWEEP_EXPERIMENTS = ("figure2", "figure3", "claims")
 
-def run_experiment(name: str, flow_scale: float = 1.0) -> str:
-    """Regenerate one experiment and return its text rendering."""
+
+def run_experiment(
+    name: str,
+    flow_scale: float = 1.0,
+    workers: int = 0,
+    cache: SweepCache | None = None,
+) -> str:
+    """Regenerate one experiment and return its text rendering.
+
+    ``workers`` and ``cache`` reach the sweep engine for the experiments
+    in :data:`SWEEP_EXPERIMENTS`; the others ignore them.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
@@ -89,4 +110,4 @@ def run_experiment(name: str, flow_scale: float = 1.0) -> str:
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
-    return runner(flow_scale)
+    return runner(flow_scale, workers, cache)

@@ -23,7 +23,14 @@ from repro.trace.recorder import PathTrace
 FORMAT_VERSION = 1
 
 
-def _path_to_record(path: Path) -> dict:
+def path_record(path: Path) -> dict:
+    """Canonical JSON-serializable record of one path.
+
+    Shared by the trace file format and the sweep-result cache's trace
+    digest: every static attribute that can influence a downstream
+    measurement is included, so two paths with equal records are
+    interchangeable for any experiment.
+    """
     signature = path.signature
     return {
         "start_address": signature.start_address,
@@ -65,7 +72,7 @@ def save_trace(trace: PathTrace, file: str | pathlib.Path) -> pathlib.Path:
     header = {
         "format_version": FORMAT_VERSION,
         "name": trace.name,
-        "paths": [_path_to_record(path) for path in trace.table],
+        "paths": [path_record(path) for path in trace.table],
     }
     encoded = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8

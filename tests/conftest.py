@@ -12,9 +12,33 @@ import numpy as np
 import pytest
 
 from repro.cfg import ProgramBuilder
+from repro.experiments.data import benchmark_traces
 from repro.trace.path import Path, PathSignature, PathTable
 from repro.trace.recorder import PathTrace
 from repro.workloads import load_benchmark
+
+#: Flow scale the engine/golden tests run the full benchmark set at.
+#: Small enough to generate in seconds, shared (via the per-process
+#: workload cache) between every test module that uses it.
+ENGINE_TEST_SCALE = 0.02
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/experiments/golden/ files from the current "
+            "renders instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture()
+def update_goldens(request) -> bool:
+    """Whether this run regenerates golden files instead of checking."""
+    return request.config.getoption("--update-goldens")
 
 
 @pytest.fixture()
@@ -89,6 +113,12 @@ def synthetic_trace():
         return PathTrace(table, sequence, name="synthetic")
 
     return build
+
+
+@pytest.fixture(scope="session")
+def all_small_traces():
+    """All nine benchmark surrogates at the engine test scale."""
+    return benchmark_traces(flow_scale=ENGINE_TEST_SCALE)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,100 @@
+"""Cache hardening: corrupt, truncated or hostile entries must degrade
+to recomputation, never to an exception or a wrong result."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.experiments import run_sweep
+from repro.experiments.engine import SweepCache, cache_key, trace_digest
+from repro.experiments.sweep import SweepPoint
+
+DELAYS = (10, 1_000)
+
+
+@pytest.fixture()
+def pair_traces(all_small_traces):
+    """Two benchmarks are plenty for cache-behavior tests."""
+    return {
+        name: all_small_traces[name] for name in ("compress", "deltablue")
+    }
+
+
+def _corrupt(path, payload: bytes) -> None:
+    path.write_bytes(payload)
+
+
+def test_corrupt_entries_recover_with_identical_results(
+    pair_traces, tmp_path, caplog
+):
+    root = tmp_path / "cache"
+    cold = run_sweep(pair_traces, delays=DELAYS, cache=SweepCache(root))
+
+    entries = sorted(root.glob("*.json"))
+    assert len(entries) == len(cold)
+    _corrupt(entries[0], b"this is not json {")
+    _corrupt(entries[1], entries[1].read_bytes()[:20])  # truncated write
+    # Valid JSON, wrong shape.
+    _corrupt(entries[2], json.dumps({"entry_format": 999}).encode())
+    _corrupt(entries[3], b"\xff\xfe\x00garbage")  # not even UTF-8
+
+    cache = SweepCache(root)
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.engine.cache"):
+        recovered = run_sweep(pair_traces, delays=DELAYS, cache=cache)
+    assert recovered == cold
+    assert cache.stats.invalidations == 4
+    assert cache.stats.misses == 4
+    assert cache.stats.hits == len(cold) - 4
+    assert cache.stats.stores == 4  # corrupt cells recomputed and rewritten
+    assert sum("recomputing" in record.message for record in caplog.records) == 4
+
+    # The rewritten entries are valid again: a third run is all hits.
+    final = SweepCache(root)
+    assert run_sweep(pair_traces, delays=DELAYS, cache=final) == cold
+    assert final.stats.hits == len(cold)
+    assert final.stats.invalidations == 0
+
+
+def test_entry_under_wrong_key_is_invalidated(pair_traces, tmp_path):
+    """An entry whose body does not match its address is discarded."""
+    root = tmp_path / "cache"
+    cache = SweepCache(root)
+    point = SweepPoint("x", "net", 10, 1.0, 90.0, 50.0, 5, 4)
+    digest = trace_digest(next(iter(pair_traces.values())))
+    key_a = cache_key(digest, "net", 10)
+    key_b = cache_key(digest, "net", 20)
+    cache.put(key_a, point)
+    # Move the entry to a different address.
+    cache.entry_path(key_a).rename(cache.entry_path(key_b))
+    assert cache.get(key_b) is None
+    assert cache.stats.invalidations == 1
+    assert not cache.entry_path(key_b).exists()
+
+
+def test_cache_dir_created_lazily(pair_traces, tmp_path):
+    root = tmp_path / "deep" / "nested" / "cache"
+    cache = SweepCache(root)
+    assert cache.get(cache_key("0" * 64, "net", 10)) is None  # no dir yet
+    assert not root.exists()
+    run_sweep(pair_traces, delays=(10,), cache=cache)
+    assert root.is_dir()
+
+
+def test_round_trip_preserves_exact_floats(tmp_path):
+    cache = SweepCache(tmp_path / "cache")
+    point = SweepPoint(
+        benchmark="li",
+        scheme="path-profile",
+        delay=200_000,
+        profiled_flow_percent=99.99999999999997,
+        hit_rate=1e-300,
+        noise_rate=0.1 + 0.2,  # 0.30000000000000004
+        num_predicted=2**40,
+        num_predicted_hot=0,
+    )
+    key = cache_key("ab" * 32, point.scheme, point.delay)
+    cache.put(key, point)
+    assert SweepCache(tmp_path / "cache").get(key) == point

@@ -1,0 +1,61 @@
+"""Golden-file regression tests for the experiment renders.
+
+``render_table1``/``render_table2``/``render_figure4`` output over the
+full benchmark set (at the reduced engine test scale) is compared
+byte-for-byte against files committed under ``tests/experiments/golden/``.
+Engine refactors therefore cannot silently change what an experiment
+prints.
+
+When a change is intentional, regenerate the files with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden_renders.py --update-goldens
+
+and commit the diff.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    build_figure4,
+    build_table1,
+    build_table2,
+    render_figure4,
+    render_table1,
+    render_table2,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _check_golden(name: str, text: str, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    rendered = text + "\n"
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with --update-goldens"
+    )
+    assert rendered == path.read_text(), (
+        f"{name} render drifted from {path}; if the change is "
+        "intentional, rerun with --update-goldens and commit the diff"
+    )
+
+
+@pytest.mark.parametrize(
+    "name,build,render",
+    [
+        ("table1", build_table1, render_table1),
+        ("table2", build_table2, render_table2),
+        ("figure4", build_figure4, render_figure4),
+    ],
+)
+def test_render_matches_golden(
+    name, build, render, all_small_traces, update_goldens
+):
+    _check_golden(name, render(build(traces=all_small_traces)), update_goldens)

@@ -1,0 +1,141 @@
+"""Property-based tests: sweep-cache key and digest laws.
+
+The cache is only sound if the key is a faithful content address: equal
+inputs always digest equally (stability), any differing input —
+trace content, scheme, τ, code version — changes the key (sensitivity),
+and a stored point survives the write/read round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.engine import (
+    CODE_VERSION,
+    SweepCache,
+    cache_key,
+    trace_digest,
+)
+from repro.experiments.sweep import SweepPoint
+from repro.trace.path import Path, PathSignature, PathTable
+from repro.trace.recorder import PathTrace
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+def _build_trace(
+    name: str, num_paths: int, sequence: list[int], start_base: int = 0
+) -> PathTrace:
+    """A tiny deterministic trace with ``num_paths`` distinct paths."""
+    table = PathTable()
+    for index in range(num_paths):
+        table.intern(
+            Path(
+                signature=PathSignature.from_bits(
+                    start_base + index * 4, format(index, "04b")
+                ),
+                blocks=(index, 100 + index),
+                start_uid=index,
+                num_instructions=3 + index,
+                num_cond_branches=1,
+                num_indirect_branches=0,
+                ends_with_backward_branch=True,
+            )
+        )
+    ids = np.asarray([s % num_paths for s in sequence], dtype=np.int64)
+    return PathTrace(table, ids, name=name)
+
+
+trace_inputs = st.tuples(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(1, 8),
+    st.lists(st.integers(0, 1_000), min_size=0, max_size=50),
+)
+
+
+@given(inputs=trace_inputs)
+@_settings
+def test_digest_stable_across_rebuilds(inputs):
+    name, num_paths, sequence = inputs
+    first = _build_trace(name, num_paths, sequence)
+    second = _build_trace(name, num_paths, sequence)
+    assert trace_digest(first) == trace_digest(second)
+
+
+@given(inputs=trace_inputs, other=trace_inputs)
+@_settings
+def test_digest_differs_when_content_differs(inputs, other):
+    a = _build_trace(*inputs)
+    b = _build_trace(*other)
+    same_content = (
+        inputs[0] == other[0]
+        and inputs[1] == other[1]
+        and a.path_ids.tolist() == b.path_ids.tolist()
+    )
+    assert (trace_digest(a) == trace_digest(b)) == same_content
+
+
+@given(inputs=trace_inputs)
+@_settings
+def test_digest_sensitive_to_name_and_sequence(inputs):
+    name, num_paths, sequence = inputs
+    base = _build_trace(name, num_paths, sequence)
+    renamed = _build_trace(name + "'", num_paths, sequence)
+    assert trace_digest(base) != trace_digest(renamed)
+    extended = _build_trace(name, num_paths, sequence + [0])
+    assert trace_digest(base) != trace_digest(extended)
+
+
+@given(
+    digest=st.text(alphabet="0123456789abcdef", min_size=64, max_size=64),
+    scheme=st.sampled_from(["net", "path-profile"]),
+    delay=st.integers(1, 1_000_000),
+    other_scheme=st.sampled_from(["net", "path-profile"]),
+    other_delay=st.integers(1, 1_000_000),
+)
+@_settings
+def test_key_distinct_exactly_when_cell_differs(
+    digest, scheme, delay, other_scheme, other_delay
+):
+    key = cache_key(digest, scheme, delay)
+    other = cache_key(digest, other_scheme, other_delay)
+    assert (key == other) == (scheme == other_scheme and delay == other_delay)
+    # Same cell under a bumped code version is a different address.
+    assert key != cache_key(digest, scheme, delay, version=CODE_VERSION + "!")
+    # Keys are themselves stable.
+    assert key == cache_key(digest, scheme, delay)
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@given(
+    point=st.builds(
+        SweepPoint,
+        benchmark=st.text(min_size=1, max_size=16),
+        scheme=st.sampled_from(["net", "path-profile"]),
+        delay=st.integers(0, 10**9),
+        profiled_flow_percent=finite,
+        hit_rate=finite,
+        noise_rate=finite,
+        num_predicted=st.integers(0, 2**50),
+        num_predicted_hot=st.integers(0, 2**50),
+    )
+)
+@_settings
+def test_point_survives_cache_round_trip(point):
+    with tempfile.TemporaryDirectory() as root:
+        cache = SweepCache(root)
+        key = cache_key("0" * 64, point.scheme, point.delay)
+        cache.put(key, point)
+        # A fresh cache instance over the same directory reads it back
+        # bit-exactly (floats included).
+        assert SweepCache(root).get(key) == point

@@ -32,6 +32,8 @@ def test_experiment_single(capsys, tmp_path):
             "0.05",
             "--out",
             str(tmp_path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
         ]
     ) == 0
     out = capsys.readouterr().out
@@ -55,11 +57,43 @@ def test_sweep(capsys):
             "--delays",
             "1",
             "100",
+            "--no-cache",
         ]
     ) == 0
     out = capsys.readouterr().out
     assert "Delay sweep" in out
     assert "net" in out and "path-profile" in out
+
+
+def test_sweep_cache_warms_across_invocations(capsys, tmp_path):
+    argv = [
+        "sweep",
+        "deltablue",
+        "--flow-scale",
+        "0.05",
+        "--delays",
+        "1",
+        "100",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "4 misses" in cold.err and "0 hits" in cold.err
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "4 hits" in warm.err and "0 misses" in warm.err
+    assert warm.out == cold.out  # byte-identical table either way
+
+
+def test_sweep_parallel_matches_serial_output(capsys, tmp_path):
+    base = ["sweep", "deltablue", "--flow-scale", "0.05", "--delays", "1",
+            "100", "--no-cache"]
+    assert main(base) == 0
+    serial = capsys.readouterr().out
+    assert main(base + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
 
 
 def test_dynamo(capsys):
