@@ -1,5 +1,5 @@
 """Times the sweep engine on the Figure 2 sweep: cold-serial vs
-cold-parallel vs warm-cache.
+cold-parallel vs warm-cache, plus the observability overhead.
 
 One full-scale sweep is 9 benchmarks × 17 delays × 2 schemes = 306
 trace replays, historically the repo's hottest path.  This bench runs
@@ -7,6 +7,12 @@ it three ways — serial replays, process-pool replays, and a rerun
 served entirely from the on-disk result cache — asserts all three
 produce identical points, and records the timings in
 ``benchmarks/results/sweep_engine.txt``.
+
+A second measurement times the same serial sweep with a live metrics
+``Registry`` attached (the ``--metrics-json`` configuration) against
+the default null-registry run, and reports the overhead percentage.
+Observability is designed to publish at cell granularity, never per
+occurrence, so the overhead must stay in the low single digits.
 """
 
 from __future__ import annotations
@@ -17,9 +23,14 @@ from conftest import emit
 
 from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.report import fmt, render_table
+from repro.obs import Registry
 
 #: Process-pool size for the cold-parallel leg.
 WORKERS = 2
+
+#: Generous ceiling for the observed-run overhead (the acceptance bar
+#: is < 5%; the assert leaves headroom so a noisy machine cannot flake).
+MAX_OBS_OVERHEAD_PERCENT = 25.0
 
 
 def _timed(runner) -> tuple[float, list]:
@@ -32,15 +43,25 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
     cache = SweepCache(engine_cache_dir / "figure2")
 
     serial_s, serial = _timed(lambda: run_sweep(full_traces))
+    registry = Registry()
+    observed_s, observed = _timed(
+        lambda: run_sweep(full_traces, obs=registry)
+    )
     parallel_s, parallel = _timed(
         lambda: run_sweep(full_traces, workers=WORKERS)
     )
     cold_s, cold = _timed(lambda: run_sweep(full_traces, cache=cache))
     warm_s, warm = _timed(lambda: run_sweep(full_traces, cache=cache))
 
+    assert observed == serial  # metrics never change results
     assert parallel == serial
     assert cold == serial
     assert warm == serial
+
+    overhead_percent = 100.0 * (observed_s / serial_s - 1.0)
+    assert overhead_percent < MAX_OBS_OVERHEAD_PERCENT
+    counters = registry.snapshot()["counters"]
+    assert counters["sweep.cells_replayed"] == len(serial)
     # The warm leg replayed nothing: every cell was a cache hit.
     cells = len(serial)
     assert cache.stats.hits == cells
@@ -48,7 +69,9 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
     assert cache.stats.stores == cells
 
     rows = [
-        ["cold serial", fmt(serial_s, 2), fmt(1.0, 2)],
+        ["cold serial (null registry)", fmt(serial_s, 2), fmt(1.0, 2)],
+        ["cold serial + metrics", fmt(observed_s, 2),
+         fmt(serial_s / observed_s, 2)],
         [f"cold parallel (workers={WORKERS})", fmt(parallel_s, 2),
          fmt(serial_s / parallel_s, 2)],
         ["cold serial + cache fill", fmt(cold_s, 2),
@@ -63,8 +86,10 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
             rows=rows,
             title=(
                 f"Sweep engine: Figure 2 sweep ({cells} cells), "
-                "cold vs parallel vs warm-cache"
+                "cold vs parallel vs warm-cache vs observed"
             ),
         )
+        + f"\nmetrics overhead: {overhead_percent:+.2f}% "
+        "(observed vs null registry)"
         + f"\n{cache.stats.render()}",
     )

@@ -6,7 +6,7 @@ Commands
     Available benchmarks and regenerable experiments.
 ``inspect BENCH``
     Trace summary, Table 1/2 cells and counter space of one benchmark.
-``experiment NAME [NAME…]``
+``experiment NAME [NAME…]`` (alias: ``run``)
     Regenerate paper tables/figures (optionally into an output dir).
 ``sweep BENCH``
     Prediction-delay sweep of both schemes on one benchmark.
@@ -14,6 +14,12 @@ Commands
     Dynamo simulation cells for one benchmark.
 ``save-trace BENCH FILE`` / ``trace-info FILE``
     Persist a benchmark trace / summarize a saved trace file.
+
+Observability: the work-running commands accept ``--metrics-json PATH``
+to collect metrics (phases, counters, timers, cache statistics — see
+``docs/observability.md``) and write the run manifest to ``PATH``; a
+one-line summary goes to stderr unless ``--quiet-metrics`` is given.
+Without the flag nothing is measured and nothing changes.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.extended import EXTENDED_IDS, run_extended
 from repro.experiments.report import render_table
 from repro.metrics import counter_space, hot_path_set
+from repro.obs import Registry, RunRecorder, get_registry, render_summary
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import summarize
 from repro.workloads import BENCHMARK_ORDER, load_benchmark
@@ -53,24 +60,58 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_cache(args: argparse.Namespace) -> SweepCache | None:
-    """The sweep cache the flags ask for (``None`` with ``--no-cache``)."""
+def _engine_cache(
+    args: argparse.Namespace, registry: Registry | None = None
+) -> SweepCache | None:
+    """The sweep cache the flags ask for (``None`` with ``--no-cache``).
+
+    With a live metrics registry the cache's accounting is mounted at
+    ``sweep.cache.*`` so it lands in the run manifest.
+    """
     if args.no_cache:
         return None
-    return SweepCache(args.cache_dir)
+    obs = registry.child("sweep.cache") if registry is not None else None
+    return SweepCache(args.cache_dir, obs=obs)
+
+
+def _metrics_registry(args: argparse.Namespace) -> Registry | None:
+    """A live registry when the invocation asked for metrics."""
+    if getattr(args, "metrics_json", None):
+        return Registry()
+    return None
+
+
+def _finish_metrics(
+    args: argparse.Namespace,
+    registry: Registry | None,
+    recorder: RunRecorder,
+) -> None:
+    """Write the run manifest and print the stderr summary line."""
+    if registry is None:
+        return
+    recorder.write(args.metrics_json, registry)
+    if not args.quiet_metrics:
+        print(
+            render_summary(registry, recorder.wall_seconds), file=sys.stderr
+        )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     names = args.names or list(EXPERIMENT_IDS)
-    cache = _engine_cache(args)
+    registry = _metrics_registry(args)
+    recorder = RunRecorder(args.argv)
+    obs = get_registry(registry)
+    cache = _engine_cache(args, registry)
     for name in names:
-        text = run_experiment(
-            name,
-            flow_scale=args.flow_scale,
-            workers=args.workers,
-            cache=cache,
-        )
+        with obs.phase(f"experiment:{name}"):
+            text = run_experiment(
+                name,
+                flow_scale=args.flow_scale,
+                workers=args.workers,
+                cache=cache,
+                obs=registry,
+            )
         print(text)
         print()
         if out_dir is not None:
@@ -78,6 +119,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             (out_dir / f"{name}.txt").write_text(text + "\n")
     if cache is not None and cache.stats.lookups:
         print(cache.stats.render(), file=sys.stderr)
+    _finish_metrics(args, registry, recorder)
     return 0
 
 
@@ -90,12 +132,18 @@ def _cmd_extended(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
-    cache = _engine_cache(args)
-    kwargs = {"workers": args.workers, "cache": cache}
-    if args.delays:
-        kwargs["delays"] = tuple(args.delays)
-    points = run_sweep({trace.name: trace}, **kwargs)
+    registry = _metrics_registry(args)
+    recorder = RunRecorder(args.argv)
+    obs = get_registry(registry)
+    with obs.phase(f"sweep:{args.benchmark}"):
+        trace = load_benchmark(
+            args.benchmark, flow_scale=args.flow_scale
+        ).trace()
+        cache = _engine_cache(args, registry)
+        kwargs = {"workers": args.workers, "cache": cache, "obs": registry}
+        if args.delays:
+            kwargs["delays"] = tuple(args.delays)
+        points = run_sweep({trace.name: trace}, **kwargs)
     rows = [
         [
             point.scheme,
@@ -123,15 +171,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None and cache.stats.lookups:
         print(cache.stats.render(), file=sys.stderr)
+    _finish_metrics(args, registry, recorder)
     return 0
 
 
 def _cmd_dynamo(args: argparse.Namespace) -> int:
-    trace = load_benchmark(args.benchmark, flow_scale=args.flow_scale).trace()
-    system = DynamoSystem()
-    for scheme in ("net", "path-profile"):
-        for delay in args.delays or (10, 50, 100):
-            print(system.run(trace, scheme, delay).render())
+    registry = _metrics_registry(args)
+    recorder = RunRecorder(args.argv)
+    obs = get_registry(registry)
+    with obs.phase(f"dynamo:{args.benchmark}"):
+        trace = load_benchmark(
+            args.benchmark, flow_scale=args.flow_scale
+        ).trace()
+        system = DynamoSystem(obs=registry)
+        for scheme in ("net", "path-profile"):
+            for delay in args.delays or (10, 50, 100):
+                print(system.run(trace, scheme, delay).render())
+    _finish_metrics(args, registry, recorder)
     return 0
 
 
@@ -146,6 +202,25 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     trace = load_trace(args.file)
     print(summarize(trace).render())
     return 0
+
+
+def _workers_type(text: str) -> int:
+    """Parse ``--workers``, rejecting negative pool sizes at parse time.
+
+    A bad value used to travel all the way into the executor before
+    failing; now argparse reports it like any other usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 runs serially), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_flags(p):
         p.add_argument(
             "--workers",
-            type=int,
+            type=_workers_type,
             default=0,
             help="sweep worker processes (0 = serial, the default)",
         )
@@ -189,13 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the sweep result cache",
         )
 
+    def add_metrics_flags(p):
+        p.add_argument(
+            "--metrics-json",
+            metavar="PATH",
+            help=(
+                "collect run metrics and write the JSON run manifest "
+                "(phases, counters, timers) to PATH"
+            ),
+        )
+        p.add_argument(
+            "--quiet-metrics",
+            action="store_true",
+            help="suppress the one-line metrics summary on stderr",
+        )
+
     inspect = sub.add_parser("inspect", help="summarize one benchmark")
     inspect.add_argument("benchmark", choices=BENCHMARK_ORDER)
     add_flow_scale(inspect)
     inspect.set_defaults(handler=_cmd_inspect)
 
     experiment = sub.add_parser(
-        "experiment", help="regenerate paper tables/figures"
+        "experiment",
+        aliases=["run"],
+        help="regenerate paper tables/figures",
     )
     experiment.add_argument(
         "names",
@@ -205,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--out", help="directory for .txt artifacts")
     add_flow_scale(experiment)
     add_engine_flags(experiment)
+    add_metrics_flags(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     extended = sub.add_parser(
@@ -223,12 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--delays", type=int, nargs="+")
     add_flow_scale(sweep)
     add_engine_flags(sweep)
+    add_metrics_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     dynamo = sub.add_parser("dynamo", help="Dynamo simulation cells")
     dynamo.add_argument("benchmark", choices=BENCHMARK_ORDER)
     dynamo.add_argument("--delays", type=int, nargs="+")
     add_flow_scale(dynamo)
+    add_metrics_flags(dynamo)
     dynamo.set_defaults(handler=_cmd_dynamo)
 
     save = sub.add_parser("save-trace", help="persist a benchmark trace")
@@ -248,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The raw invocation, recorded verbatim in run manifests.
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.handler(args)
     except ReproError as error:

@@ -10,13 +10,13 @@ from repro.dynamo.config import DEFAULT_CONFIG, DynamoConfig
 from repro.dynamo.costmodel import native_cycles, simulate_costs
 from repro.dynamo.flush import PredictionRateMonitor
 from repro.dynamo.fragment import Fragment, FragmentCache
-from repro.dynamo.stats import CycleBreakdown, DynamoRun
 from repro.dynamo.optimizer import (
     OptimizedFragment,
     TraceInstruction,
     TraceOptimizer,
     measure_fragment_speedups,
 )
+from repro.dynamo.stats import CycleBreakdown, DynamoRun
 from repro.dynamo.system import SCHEMES, DynamoSystem, measured_fragment_sizes
 from repro.dynamo.vm import (
     DynamoVM,

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.core import Registry, get_registry
+
 
 @dataclass(frozen=True)
 class CycleBreakdown:
@@ -27,6 +29,20 @@ class CycleBreakdown:
             + self.dispatch
             + self.flushes
         )
+
+    def publish(self, obs: Registry | None) -> None:
+        """Accumulate this breakdown into an obs registry.
+
+        One counter per component (relative to ``obs``), so cycles sum
+        cleanly across runs.  No-op on the null registry.
+        """
+        reg = get_registry(obs)
+        reg.counter("interpretation").inc(self.interpretation)
+        reg.counter("profiling").inc(self.profiling)
+        reg.counter("selection").inc(self.selection)
+        reg.counter("fragment_execution").inc(self.fragment_execution)
+        reg.counter("dispatch").inc(self.dispatch)
+        reg.counter("flushes").inc(self.flushes)
 
 
 @dataclass(frozen=True)
@@ -80,3 +96,24 @@ class DynamoRun:
             f"speedup={self.speedup_percent:+7.2f}% "
             f"fragments={self.num_fragments:>6,} flushes={self.flushes}{tag}"
         )
+
+    def publish(self, obs: Registry | None) -> None:
+        """Accumulate this run's accounting into an obs registry.
+
+        Counters (relative to ``obs``): ``runs``, ``native_cycles``,
+        ``dynamo_cycles``, ``fragments``, ``emitted_instructions``,
+        ``flushes``, ``bail_outs`` and the per-component cycle counters
+        under ``cycles.*``.  ``resident_fragments`` is a gauge (last run
+        wins).  No-op on the null registry.
+        """
+        reg = get_registry(obs)
+        reg.counter("runs").inc()
+        reg.counter("native_cycles").inc(self.native_cycles)
+        reg.counter("dynamo_cycles").inc(self.dynamo_cycles)
+        reg.counter("fragments").inc(self.num_fragments)
+        reg.counter("emitted_instructions").inc(self.emitted_instructions)
+        reg.counter("flushes").inc(self.flushes)
+        if self.bailed_out:
+            reg.counter("bail_outs").inc()
+        reg.gauge("resident_fragments").set(self.resident_fragments)
+        self.breakdown.publish(reg.child("cycles"))

@@ -18,6 +18,7 @@ from repro.dynamo.flush import PredictionRateMonitor
 from repro.dynamo.fragment import Fragment, FragmentCache
 from repro.dynamo.stats import CycleBreakdown, DynamoRun
 from repro.errors import DynamoError
+from repro.obs.core import Registry, get_registry
 from repro.prediction.net import NETPredictor
 from repro.prediction.path_profile import PathProfilePredictor
 from repro.trace.recorder import PathTrace
@@ -27,10 +28,22 @@ SCHEMES = ("net", "path-profile")
 
 
 class DynamoSystem:
-    """A simulated Dynamo instance with a fixed cost configuration."""
+    """A simulated Dynamo instance with a fixed cost configuration.
 
-    def __init__(self, config: DynamoConfig = DEFAULT_CONFIG):
+    ``obs`` mounts the simulator's instrumentation under ``dynamo.*``:
+    spans around prediction and cost modelling, the predictor's
+    accounting under ``dynamo.prediction.*`` and each run's cycle totals
+    (see :meth:`repro.dynamo.stats.DynamoRun.publish`).  Without it
+    nothing is measured.
+    """
+
+    def __init__(
+        self,
+        config: DynamoConfig = DEFAULT_CONFIG,
+        obs: Registry | None = None,
+    ):
         self.config = config
+        self._obs = get_registry(obs).child("dynamo")
 
     # ------------------------------------------------------------------
     def run(
@@ -38,8 +51,13 @@ class DynamoSystem:
     ) -> DynamoRun:
         """Vectorized simulation of one (trace, scheme, delay) cell."""
         predictor = self._predictor(scheme, delay)
-        outcome = predictor.run(trace)
-        return simulate_costs(trace, outcome, self.config, trace.name)
+        with self._obs.span("predict"):
+            outcome = predictor.run(trace)
+        outcome.publish(self._obs.child("prediction"))
+        with self._obs.span("cost_model"):
+            result = simulate_costs(trace, outcome, self.config, trace.name)
+        result.publish(self._obs)
+        return result
 
     def _predictor(self, scheme: str, delay: int):
         if scheme == "net":
@@ -75,6 +93,27 @@ class DynamoSystem:
         used by the ISA-trace demos where real code is optimized by
         :class:`repro.dynamo.optimizer.TraceOptimizer`.
         """
+        with self._obs.span("run_detailed"):
+            result = self._run_detailed(
+                trace,
+                scheme,
+                delay,
+                flush_on_phase_change,
+                monitor,
+                fragment_sizes,
+            )
+        result.publish(self._obs)
+        return result
+
+    def _run_detailed(
+        self,
+        trace: PathTrace,
+        scheme: str,
+        delay: int,
+        flush_on_phase_change: bool,
+        monitor: PredictionRateMonitor | None,
+        fragment_sizes: dict[int, int] | None,
+    ) -> DynamoRun:
         if scheme not in SCHEMES:
             raise DynamoError(
                 f"unknown scheme {scheme!r}; expected one of {SCHEMES}"

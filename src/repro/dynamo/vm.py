@@ -36,6 +36,7 @@ from repro.errors import DynamoError, MachineLimitExceeded
 from repro.isa.assembler import AssembledProgram
 from repro.isa.instructions import COND_BRANCHES, Instruction, Op
 from repro.isa.machine import DEFAULT_MEMORY_WORDS, Machine
+from repro.obs.core import Registry, get_registry
 
 #: Trace-length cap in recorded instructions (Dynamo bounded traces).
 DEFAULT_MAX_TRACE_INSTRUCTIONS = 128
@@ -120,6 +121,28 @@ class VMStats:
             return 0.0
         return self.fragment_instructions / total
 
+    def publish(self, obs: Registry | None) -> None:
+        """Accumulate these counts into an obs registry.
+
+        One counter per field (relative to ``obs``), published once at
+        the end of a run — the dispatch loop itself stays uninstrumented
+        so measurement never costs cycles.  No-op on the null registry.
+        """
+        reg = get_registry(obs)
+        reg.counter("interpreted_instructions").inc(
+            self.interpreted_instructions
+        )
+        reg.counter("fragment_instructions").inc(self.fragment_instructions)
+        reg.counter("counter_bumps").inc(self.counter_bumps)
+        reg.counter("shift_ops").inc(self.shift_ops)
+        reg.counter("table_ops").inc(self.table_ops)
+        reg.counter("recorded_instructions").inc(self.recorded_instructions)
+        reg.counter("fragments_built").inc(self.fragments_built)
+        reg.counter("fragment_entries").inc(self.fragment_entries)
+        reg.counter("linked_transfers").inc(self.linked_transfers)
+        reg.counter("guard_exits").inc(self.guard_exits)
+        reg.counter("flushes").inc(self.flushes)
+
 
 @dataclass
 class VMResult:
@@ -194,6 +217,10 @@ class DynamoVM:
     cache_budget_instructions:
         Fragment-cache capacity; overflow flushes everything (Dynamo's
         policy) and restarts the counters.
+    obs:
+        Optional metrics registry; the VM's accounting is published
+        under ``vm.*`` relative to it when a run finishes.  Without it
+        nothing is measured.
     """
 
     def __init__(
@@ -204,6 +231,7 @@ class DynamoVM:
         max_trace_instructions: int = DEFAULT_MAX_TRACE_INSTRUCTIONS,
         cache_budget_instructions: int = 60_000,
         memory_words: int = DEFAULT_MEMORY_WORDS,
+        obs: Registry | None = None,
     ):
         if delay < 0:
             raise DynamoError("delay must be non-negative")
@@ -217,6 +245,7 @@ class DynamoVM:
         self.max_trace_instructions = max_trace_instructions
         self.cache_budget = cache_budget_instructions
         self._machine = Machine(program, memory_words=memory_words)
+        self._obs = get_registry(obs).child("vm")
 
     # ------------------------------------------------------------------
     def load_memory(self, values: list[int], base: int = 0) -> None:
@@ -225,7 +254,19 @@ class DynamoVM:
 
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 10_000_000) -> VMResult:
-        """Execute until HALT; returns output, stats and the cache."""
+        """Execute until HALT; returns output, stats and the cache.
+
+        The run's wall time lands in the ``vm.run`` timer and the final
+        :class:`VMStats` in ``vm.*`` counters — published once here, so
+        the dispatch loop pays nothing for observability.
+        """
+        with self._obs.span("run"):
+            result = self._run(max_steps)
+        result.stats.publish(self._obs)
+        self._obs.gauge("resident_fragments").set(len(result.fragments))
+        return result
+
+    def _run(self, max_steps: int) -> VMResult:
         machine = self._machine
         state = machine.state
         instructions = self.program.instructions
@@ -597,9 +638,10 @@ def run_mini_dynamo(
     delay: int = 50,
     max_steps: int = 10_000_000,
     config: DynamoConfig = DEFAULT_CONFIG,
+    obs: Registry | None = None,
 ) -> VMResult:
     """Convenience wrapper: run ``program`` under the miniature Dynamo."""
-    vm = DynamoVM(program, delay=delay)
+    vm = DynamoVM(program, delay=delay, obs=obs)
     if memory:
         vm.load_memory(memory)
     return vm.run(max_steps=max_steps)

@@ -9,7 +9,11 @@ by a SHA-256 digest over exactly those inputs:
   static attribute, via :func:`repro.trace.io.path_record`) and the raw
   occurrence array.  Any change to the workload generator's output
   changes the digest, so stale results can never be served for a
-  regenerated trace.
+  regenerated trace.  The occurrence array is canonicalized to an
+  explicit little-endian ``int64`` before hashing, so the digest is a
+  property of the trace's *content*, not of the host's byte order or of
+  how the dtype happens to be spelled (``int64`` vs ``>i8``) — caches
+  are portable between machines.
 * the scheme name and τ;
 * :data:`CODE_VERSION` — a manual tag naming the semantics of the
   predictor/metric pipeline.  Bump it whenever a change to the
@@ -19,10 +23,17 @@ by a SHA-256 digest over exactly those inputs:
 
 Entries are one JSON file per key under the cache root (created
 lazily), written atomically via a temp file + ``os.replace``.  The
-cache is strictly best-effort: a missing, unreadable, truncated or
-corrupt entry is logged, counted as an invalidation and treated as a
-miss — the engine recomputes and overwrites.  Cache failures never
-propagate to the experiment.
+cache is strictly best-effort in both directions: a missing,
+unreadable, truncated or corrupt entry is logged, counted as an
+invalidation and treated as a miss — the engine recomputes and
+overwrites — and a store that fails for *any* reason (an unwritable
+disk as much as a point that does not serialize) is logged and counted
+as a failed store.  Cache failures never propagate to the experiment.
+
+Accounting lives in :class:`CacheStats`, a read-view over
+``repro.obs`` counters: hand :class:`SweepCache` an observability
+registry (see :mod:`repro.obs`) and its hit/miss/store traffic appears
+in the run manifest under that registry's prefix.
 """
 
 from __future__ import annotations
@@ -33,9 +44,11 @@ import logging
 import os
 import pathlib
 import tempfile
-from dataclasses import dataclass
+
+import numpy as np
 
 from repro.experiments.sweep import SweepPoint
+from repro.obs.core import Registry
 from repro.trace.io import path_record
 from repro.trace.recorder import PathTrace
 
@@ -48,13 +61,19 @@ CODE_VERSION = "sweep-engine-v1"
 #: On-disk layout version of one cache entry file.
 ENTRY_FORMAT = 1
 
+#: Canonical occurrence-array dtype hashed by :func:`trace_digest`:
+#: little-endian 8-byte signed, whatever the host's native order is.
+_DIGEST_DTYPE = np.dtype("<i8")
+
 
 def trace_digest(trace: PathTrace) -> str:
     """Stable content digest of a trace.
 
     Covers the name (it appears verbatim in every result), the complete
     path table and the occurrence sequence.  Two traces with equal
-    digests produce identical sweep results.
+    digests produce identical sweep results; the digest is identical on
+    little- and big-endian hosts and for any equivalent dtype spelling
+    of the occurrence array.
     """
     hasher = hashlib.sha256()
     hasher.update(trace.name.encode("utf-8"))
@@ -66,8 +85,9 @@ def trace_digest(trace: PathTrace) -> str:
     )
     hasher.update(table_blob.encode("utf-8"))
     hasher.update(b"\x00")
-    hasher.update(str(trace.path_ids.dtype).encode("utf-8"))
-    hasher.update(trace.path_ids.tobytes())
+    ids = np.ascontiguousarray(trace.path_ids, dtype=_DIGEST_DTYPE)
+    hasher.update(_DIGEST_DTYPE.str.encode("utf-8"))
+    hasher.update(ids.tobytes())
     return hasher.hexdigest()
 
 
@@ -91,19 +111,52 @@ def cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-@dataclass
 class CacheStats:
     """Hit/miss accounting of one :class:`SweepCache` instance.
 
+    A read-view over ``repro.obs`` counters: pass a registry (typically
+    a ``child("sweep.cache")`` of a run's root registry) and the counts
+    flow into that run's manifest; without one the stats keep a private
+    registry and behave exactly as before.
+
     ``misses`` counts every lookup that forced a recompute (including
     the ones caused by invalidation); ``invalidations`` counts entries
-    discarded because they could not be read back.
+    discarded because they could not be read back; ``store_failures``
+    counts puts that could not be persisted (never fatal).
     """
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    invalidations: int = 0
+    def __init__(self, registry: Registry | None = None):
+        self._registry = registry if registry is not None else Registry()
+        self._hits = self._registry.counter("hits")
+        self._misses = self._registry.counter("misses")
+        self._stores = self._registry.counter("stores")
+        self._invalidations = self._registry.counter("invalidations")
+        self._store_failures = self._registry.counter("store_failures")
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from disk."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that forced a recompute."""
+        return self._misses.value
+
+    @property
+    def stores(self) -> int:
+        """Entries successfully persisted."""
+        return self._stores.value
+
+    @property
+    def invalidations(self) -> int:
+        """Entries discarded as unreadable or corrupt."""
+        return self._invalidations.value
+
+    @property
+    def store_failures(self) -> int:
+        """Puts that failed to persist (logged, never propagated)."""
+        return self._store_failures.value
 
     @property
     def lookups(self) -> int:
@@ -112,10 +165,13 @@ class CacheStats:
 
     def render(self) -> str:
         """One-line report form."""
-        return (
+        text = (
             f"sweep cache: {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stores, {self.invalidations} invalidated"
         )
+        if self.store_failures:
+            text += f", {self.store_failures} failed stores"
+        return text
 
 
 def _point_from_payload(payload: dict) -> SweepPoint:
@@ -150,11 +206,13 @@ class SweepCache:
 
     The root directory is created lazily on the first store, so pointing
     the engine at a fresh path costs nothing until a result exists.
+    ``obs`` mounts the cache's accounting on an observability registry
+    (see :class:`CacheStats`).
     """
 
-    def __init__(self, root: str | pathlib.Path):
+    def __init__(self, root: str | pathlib.Path, obs: Registry | None = None):
         self.root = pathlib.Path(root)
-        self.stats = CacheStats()
+        self.stats = CacheStats(obs)
 
     def entry_path(self, key: str) -> pathlib.Path:
         """Where ``key``'s entry lives (whether or not it exists)."""
@@ -167,11 +225,12 @@ class SweepCache:
         logged, the entry discarded and counted in
         :attr:`CacheStats.invalidations`.
         """
+        stats = self.stats
         path = self.entry_path(key)
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
-            self.stats.misses += 1
+            stats._misses.inc()
             return None
         except OSError as error:
             logger.warning(
@@ -179,8 +238,8 @@ class SweepCache:
                 path,
                 error,
             )
-            self.stats.invalidations += 1
-            self.stats.misses += 1
+            stats._invalidations.inc()
+            stats._misses.inc()
             return None
         try:
             entry = json.loads(raw.decode("utf-8"))
@@ -198,14 +257,21 @@ class SweepCache:
                 error,
             )
             self._discard(path)
-            self.stats.invalidations += 1
-            self.stats.misses += 1
+            stats._invalidations.inc()
+            stats._misses.inc()
             return None
-        self.stats.hits += 1
+        stats._hits.inc()
         return point
 
     def put(self, key: str, point: SweepPoint) -> None:
-        """Store ``point`` under ``key`` (atomic, best-effort)."""
+        """Store ``point`` under ``key`` (atomic, best-effort).
+
+        Failures never propagate, whatever their shape: an I/O error is
+        as non-fatal as a point whose fields do not serialize (a
+        non-finite float, a stray numpy scalar, …).  Both are logged and
+        counted in :attr:`CacheStats.store_failures`; the sweep goes on
+        with the computed point.
+        """
         entry = {
             "entry_format": ENTRY_FORMAT,
             "key": key,
@@ -220,17 +286,21 @@ class SweepCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle)
+                    # allow_nan=False keeps entries standard JSON; a
+                    # non-finite field fails the store instead of
+                    # writing a token other parsers reject.
+                    json.dump(entry, handle, allow_nan=False)
                 os.replace(tmp_name, path)
             except BaseException:
                 self._discard(pathlib.Path(tmp_name))
                 raise
-        except OSError as error:
+        except (OSError, TypeError, ValueError) as error:
             logger.warning(
                 "sweep cache: could not store entry %s (%s)", path, error
             )
+            self.stats._store_failures.inc()
             return
-        self.stats.stores += 1
+        self.stats._stores.inc()
 
     @staticmethod
     def _discard(path: pathlib.Path) -> None:

@@ -13,12 +13,23 @@ rather than by completion order.  Serial, parallel and cached runs of
 the same sweep therefore return *equal* point lists, and every rendered
 figure built from them is byte-identical — a property the equivalence
 test-suite locks down.
+
+Observability: pass ``obs`` (a :class:`repro.obs.Registry`) and the
+engine accounts for itself under the ``sweep.`` prefix — cells planned
+/ cached / replayed, replay and hot-set timers, and the predictors'
+``profiling_ops``/``counter_space`` totals.  Pool workers measure into
+a local registry that travels back with their points and is merged
+after the pool joins, so parallel runs report the same totals as serial
+ones.  With no registry (the default) every instrument resolves to the
+shared null registry and the replay path is byte-for-byte the
+uninstrumented one.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.errors import ExperimentError
 from repro.experiments.engine.cache import SweepCache, cache_key, trace_digest
 from repro.experiments.engine.planner import (
     SweepTask,
@@ -32,9 +43,9 @@ from repro.experiments.sweep import (
     SweepPoint,
     make_predictor,
 )
-from repro.errors import ExperimentError
 from repro.metrics.hotpaths import hot_path_set
 from repro.metrics.quality import evaluate_prediction
+from repro.obs.core import Registry, get_registry
 from repro.trace.recorder import PathTrace
 
 #: Cells per unit of parallel work.  One chunk ships its trace to a
@@ -45,28 +56,41 @@ DEFAULT_CHUNK_SIZE = 8
 
 
 def _run_cells(
-    trace: PathTrace, cells: list[tuple[str, int]]
-) -> list[SweepPoint]:
+    trace: PathTrace,
+    cells: list[tuple[str, int]],
+    observe: bool = False,
+) -> tuple[list[SweepPoint], dict | None]:
     """Replay a batch of (scheme, τ) cells on one trace.
 
     Top-level so the process pool can pickle it.  The hot set is
     recomputed per batch — it is a deterministic bincount, orders of
     magnitude cheaper than one replay.
+
+    With ``observe`` the batch measures itself into a throwaway local
+    registry and returns its snapshot alongside the points (relative
+    names; the caller mounts it wherever it belongs).  The points are
+    identical either way.
     """
-    hot = hot_path_set(trace)
+    obs = Registry() if observe else get_registry(None)
+    with obs.span("hot_set"):
+        hot = hot_path_set(trace)
     points = []
     for scheme, delay in cells:
-        outcome = make_predictor(scheme, delay).run(trace)
-        quality = evaluate_prediction(trace, hot, outcome)
+        with obs.span("replay"):
+            outcome = make_predictor(scheme, delay).run(trace)
+            quality = evaluate_prediction(trace, hot, outcome)
+        obs.counter("cells_replayed").inc()
+        outcome.publish(obs.child("prediction"))
         points.append(SweepPoint.from_quality(trace.name, quality))
-    return points
+    return points, (obs.snapshot() if observe else None)
 
 
 def _execute_batches(
     traces: dict[str, PathTrace],
     batches: list[list[SweepTask]],
     workers: int,
-) -> list[list[SweepPoint]]:
+    observe: bool = False,
+) -> list[tuple[list[SweepPoint], dict | None]]:
     """Run every batch, parallel when ``workers`` > 0, and keep order."""
     arguments = [
         (traces[batch[0].benchmark], [task.cell for task in batch])
@@ -75,11 +99,11 @@ def _execute_batches(
     if workers > 0:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_cells, trace, cells)
+                pool.submit(_run_cells, trace, cells, observe)
                 for trace, cells in arguments
             ]
             return [future.result() for future in futures]
-    return [_run_cells(trace, cells) for trace, cells in arguments]
+    return [_run_cells(trace, cells, observe) for trace, cells in arguments]
 
 
 def run_sweep(
@@ -89,6 +113,7 @@ def run_sweep(
     workers: int = 0,
     cache: SweepCache | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    obs: Registry | None = None,
 ) -> list[SweepPoint]:
     """Measure every (benchmark, scheme, τ) cell of a sweep.
 
@@ -105,46 +130,70 @@ def run_sweep(
         accumulates on ``cache.stats``.
     chunk_size:
         Cells per scheduled unit of parallel work.
+    obs:
+        Optional observability registry; engine metrics land under its
+        ``sweep.`` prefix (see the module docstring).  ``None`` runs
+        uninstrumented at zero cost.
     """
     if workers < 0:
         raise ExperimentError(f"workers must be >= 0, got {workers}")
-    tasks = plan_sweep(list(traces), schemes=schemes, delays=delays)
-    results: list[SweepPoint | None] = [None] * len(tasks)
+    engine = get_registry(obs).child("sweep")
+    observe = engine.enabled
+    with engine.span("total"):
+        tasks = plan_sweep(list(traces), schemes=schemes, delays=delays)
+        engine.counter("runs").inc()
+        engine.counter("cells_total").inc(len(tasks))
+        # Interned up front so every manifest carries the full pair,
+        # zeros included.
+        engine.counter("cells_cached")
+        engine.counter("cells_replayed")
+        engine.gauge("workers").set(workers)
+        results: list[SweepPoint | None] = [None] * len(tasks)
 
-    keys: dict[int, str] = {}
-    if cache is not None:
-        digests = {
-            name: trace_digest(trace) for name, trace in traces.items()
-        }
-        pending = []
-        for task in tasks:
-            key = cache_key(digests[task.benchmark], task.scheme, task.delay)
-            keys[task.index] = key
-            point = cache.get(key)
-            if point is None:
-                pending.append(task)
-            else:
-                results[task.index] = point
-    else:
-        pending = list(tasks)
+        keys: dict[int, str] = {}
+        if cache is not None:
+            with engine.span("digest"):
+                digests = {
+                    name: trace_digest(trace)
+                    for name, trace in traces.items()
+                }
+            pending = []
+            for task in tasks:
+                key = cache_key(
+                    digests[task.benchmark], task.scheme, task.delay
+                )
+                keys[task.index] = key
+                point = cache.get(key)
+                if point is None:
+                    pending.append(task)
+                else:
+                    results[task.index] = point
+            engine.counter("cells_cached").inc(len(tasks) - len(pending))
+        else:
+            pending = list(tasks)
 
-    if pending:
-        # One batch per benchmark when serial (one hot set per trace,
-        # like the historical loop); chunked batches when parallel so a
-        # single benchmark's cells can spread across workers.
-        batches = [
-            chunk
-            for group in group_by_benchmark(pending).values()
-            for chunk in (
-                chunk_tasks(group, chunk_size) if workers > 0 else [group]
-            )
-        ]
-        for batch, points in zip(
-            batches, _execute_batches(traces, batches, workers)
-        ):
-            for task, point in zip(batch, points):
-                results[task.index] = point
-                if cache is not None:
-                    cache.put(keys[task.index], point)
+        if pending:
+            # One batch per benchmark when serial (one hot set per trace,
+            # like the historical loop); chunked batches when parallel so a
+            # single benchmark's cells can spread across workers.
+            batches = [
+                chunk
+                for group in group_by_benchmark(pending).values()
+                for chunk in (
+                    chunk_tasks(group, chunk_size) if workers > 0 else [group]
+                )
+            ]
+            engine.counter("batches").inc(len(batches))
+            for batch, (points, snapshot) in zip(
+                batches, _execute_batches(traces, batches, workers, observe)
+            ):
+                if snapshot is not None:
+                    # Worker measurements use batch-relative names;
+                    # merging through the child view re-prefixes them.
+                    engine.merge(snapshot)
+                for task, point in zip(batch, points):
+                    results[task.index] = point
+                    if cache is not None:
+                        cache.put(keys[task.index], point)
 
     return [point for point in results if point is not None]

@@ -19,6 +19,7 @@ from repro.experiments.sweep import (
     average_curve,
     scheme_curve,
 )
+from repro.obs.core import Registry
 from repro.trace.recorder import PathTrace
 from repro.workloads.spec import BENCHMARK_ORDER
 
@@ -73,16 +74,20 @@ def build_figure2(
     delays: tuple[int, ...] = DEFAULT_DELAYS,
     workers: int = 0,
     cache: SweepCache | None = None,
+    obs: Registry | None = None,
 ) -> FigureCurves:
     """Sweep every benchmark with both schemes.
 
     The sweep runs on the engine: ``workers`` > 0 replays cells on a
     process pool and ``cache`` serves previously computed cells — both
-    produce output identical to the serial, uncached sweep.
+    produce output identical to the serial, uncached sweep.  ``obs``
+    reaches the engine's instrumentation (see ``docs/observability.md``).
     """
     if traces is None:
         traces = benchmark_traces(flow_scale=flow_scale)
-    points = run_sweep(traces, delays=delays, workers=workers, cache=cache)
+    points = run_sweep(
+        traces, delays=delays, workers=workers, cache=cache, obs=obs
+    )
     return FigureCurves(points=points, delays=delays)
 
 

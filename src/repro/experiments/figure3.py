@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.engine import SweepCache
 from repro.experiments.figure2 import FigureCurves, build_figure2, render_panel
+from repro.obs.core import Registry
 from repro.trace.recorder import PathTrace
 
 
@@ -17,6 +18,7 @@ def build_figure3(
     flow_scale: float = 1.0,
     workers: int = 0,
     cache: SweepCache | None = None,
+    obs: Registry | None = None,
 ) -> FigureCurves:
     """Figure 3 shares Figure 2's sweep; build (or reuse) it.
 
@@ -24,7 +26,11 @@ def build_figure3(
     performs zero trace replays — every cell is a cache hit.
     """
     return build_figure2(
-        traces=traces, flow_scale=flow_scale, workers=workers, cache=cache
+        traces=traces,
+        flow_scale=flow_scale,
+        workers=workers,
+        cache=cache,
+        obs=obs,
     )
 
 

@@ -29,33 +29,68 @@ from repro.experiments.figure5 import (
 from repro.experiments.phases import render_phase_report, run_phase_experiment
 from repro.experiments.table1 import build_table1, render_table1
 from repro.experiments.table2 import build_table2, render_table2
+from repro.obs.core import Registry
 
 
-def _run_table1(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_table1(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     return render_table1(build_table1(flow_scale=flow_scale))
 
 
-def _run_table2(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_table2(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     return render_table2(build_table2(flow_scale=flow_scale))
 
 
-def _run_figure2(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_figure2(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     return render_figure2(
-        build_figure2(flow_scale=flow_scale, workers=workers, cache=cache)
+        build_figure2(
+            flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+        )
     )
 
 
-def _run_figure3(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_figure3(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     return render_figure3(
-        build_figure3(flow_scale=flow_scale, workers=workers, cache=cache)
+        build_figure3(
+            flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+        )
     )
 
 
-def _run_figure4(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_figure4(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     return render_figure4(build_figure4(flow_scale=flow_scale))
 
 
-def _run_figure5(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_figure5(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     text = render_figure5(build_figure5(flow_scale=flow_scale))
     bails = bail_out_report(flow_scale=flow_scale)
     lines = [text, "", "Bail-outs (excluded from the figure, τ=50):"]
@@ -64,17 +99,31 @@ def _run_figure5(flow_scale: float, workers: int, cache: SweepCache | None) -> s
     return "\n".join(lines)
 
 
-def _run_claims(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
-    curves = build_figure2(flow_scale=flow_scale, workers=workers, cache=cache)
+def _run_claims(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
+    curves = build_figure2(
+        flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+    )
     return render_claims(evaluate_claims(curves=curves))
 
 
-def _run_phases(flow_scale: float, workers: int, cache: SweepCache | None) -> str:
+def _run_phases(
+    flow_scale: float,
+    workers: int,
+    cache: SweepCache | None,
+    obs: Registry | None,
+) -> str:
     flow = max(int(400_000 * flow_scale), 20_000)
     return render_phase_report(run_phase_experiment(flow=flow))
 
 
-EXPERIMENTS: dict[str, Callable[[float, int, SweepCache | None], str]] = {
+EXPERIMENTS: dict[
+    str, Callable[[float, int, SweepCache | None, Registry | None], str]
+] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "figure2": _run_figure2,
@@ -97,11 +146,12 @@ def run_experiment(
     flow_scale: float = 1.0,
     workers: int = 0,
     cache: SweepCache | None = None,
+    obs: Registry | None = None,
 ) -> str:
     """Regenerate one experiment and return its text rendering.
 
-    ``workers`` and ``cache`` reach the sweep engine for the experiments
-    in :data:`SWEEP_EXPERIMENTS`; the others ignore them.
+    ``workers``, ``cache`` and ``obs`` reach the sweep engine for the
+    experiments in :data:`SWEEP_EXPERIMENTS`; the others ignore them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -110,4 +160,4 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
-    return runner(flow_scale, workers, cache)
+    return runner(flow_scale, workers, cache, obs)

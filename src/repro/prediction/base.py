@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PredictionError
+from repro.obs.core import Registry, get_registry
 from repro.trace.recorder import PathTrace
 
 
@@ -81,6 +82,23 @@ class PredictionOutcome:
     def predicted_set(self) -> set[int]:
         """The predicted path ids as a set."""
         return set(int(p) for p in self.predicted_ids)
+
+    def publish(self, obs: Registry | None) -> None:
+        """Accumulate this outcome's accounting into an obs registry.
+
+        Counters (relative to ``obs``): ``outcomes``, ``predictions``,
+        ``captured_flow``, and the paper's two cost axes —
+        ``profiling_ops`` (dynamic profiling operations, §4) and
+        ``counter_space`` (counters allocated, §5.2).  Sums are
+        meaningful across any number of outcomes, which is how a sweep
+        reports scheme cost totals.  No-op on the null registry.
+        """
+        reg = get_registry(obs)
+        reg.counter("outcomes").inc()
+        reg.counter("predictions").inc(self.num_predictions)
+        reg.counter("captured_flow").inc(self.captured_flow)
+        reg.counter("profiling_ops").inc(int(self.profiling_ops))
+        reg.counter("counter_space").inc(int(self.counter_space))
 
 
 class OnlinePredictor(abc.ABC):

@@ -7,7 +7,6 @@ from repro.cfg import (
     compute_dominators,
     dominator_back_edges,
     intraprocedural_successors,
-    natural_loops,
     procedure_loops,
 )
 from repro.cfg.analysis import reverse_graph, topological_order

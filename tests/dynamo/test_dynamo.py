@@ -13,7 +13,7 @@ from repro.dynamo import (
     simulate_costs,
 )
 from repro.errors import DynamoError
-from repro.prediction import NETPredictor, PathProfilePredictor
+from repro.prediction import NETPredictor
 from repro.trace.path import PathTable
 from repro.trace.recorder import PathTrace
 from tests.conftest import make_path

@@ -83,6 +83,40 @@ def test_cache_dir_created_lazily(pair_traces, tmp_path):
     assert root.is_dir()
 
 
+def test_unserializable_point_is_a_counted_failed_store(tmp_path, caplog):
+    """A point whose fields do not serialize must not crash the sweep.
+
+    ``json.dump`` raises TypeError here — which used to escape the
+    store's ``except OSError`` and kill the run.
+    """
+    cache = SweepCache(tmp_path / "cache")
+    key = cache_key("0" * 64, "net", 10)
+    poisoned = SweepPoint("x", "net", 10, 1.0, 90.0, 50.0, object(), 4)
+    with caplog.at_level(
+        logging.WARNING, logger="repro.experiments.engine.cache"
+    ):
+        cache.put(key, poisoned)  # must not raise
+    assert cache.stats.store_failures == 1
+    assert cache.stats.stores == 0
+    assert not cache.entry_path(key).exists()
+    assert not list((tmp_path / "cache").glob("*.tmp"))  # temp cleaned up
+    assert any("could not store" in r.message for r in caplog.records)
+    assert "1 failed stores" in cache.stats.render()
+
+
+def test_non_finite_point_is_a_counted_failed_store(tmp_path):
+    """NaN fails the store (``allow_nan=False``) instead of writing a
+    token other JSON parsers reject — and nothing half-written remains."""
+    cache = SweepCache(tmp_path / "cache")
+    key = cache_key("1" * 64, "net", 10)
+    cache.put(
+        key, SweepPoint("x", "net", 10, float("nan"), 90.0, 50.0, 5, 4)
+    )
+    assert cache.stats.store_failures == 1
+    assert cache.get(key) is None
+    assert cache.stats.invalidations == 0  # no partial entry on disk
+
+
 def test_round_trip_preserves_exact_floats(tmp_path):
     cache = SweepCache(tmp_path / "cache")
     point = SweepPoint(

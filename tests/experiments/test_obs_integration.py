@@ -1,0 +1,81 @@
+"""Engine observability: what the sweep publishes, and that measuring
+never changes results — serial, parallel, or cached."""
+
+from __future__ import annotations
+
+from repro.experiments import run_sweep
+from repro.experiments.engine import SweepCache
+from repro.obs import Registry
+
+DELAYS = (10, 1_000)
+
+
+def _pair(all_small_traces):
+    return {
+        name: all_small_traces[name] for name in ("compress", "deltablue")
+    }
+
+
+def test_sweep_counters_match_the_work_done(all_small_traces):
+    traces = _pair(all_small_traces)
+    registry = Registry()
+    points = run_sweep(traces, delays=DELAYS, obs=registry)
+    counters = registry.snapshot()["counters"]
+    cells = len(traces) * 2 * len(DELAYS)  # benchmarks × schemes × delays
+    assert counters["sweep.runs"] == 1
+    assert counters["sweep.cells_total"] == cells
+    assert counters["sweep.cells_replayed"] == cells
+    assert counters["sweep.cells_cached"] == 0
+    assert counters["sweep.prediction.outcomes"] == cells
+    assert counters["sweep.prediction.predictions"] == sum(
+        point.num_predicted for point in points
+    )
+    timers = registry.snapshot()["timers"]
+    assert timers["sweep.total"]["count"] == 1
+    assert timers["sweep.replay"]["count"] == cells
+
+
+def test_worker_metrics_merge_to_serial_totals(all_small_traces):
+    traces = _pair(all_small_traces)
+    serial, parallel = Registry(), Registry()
+    assert run_sweep(traces, delays=DELAYS, obs=serial) == run_sweep(
+        traces, delays=DELAYS, workers=2, obs=parallel
+    )
+    serial_counts = serial.snapshot()["counters"]
+    parallel_counts = parallel.snapshot()["counters"]
+    # Batching differs by worker count; all work counters must not.
+    serial_counts.pop("sweep.batches")
+    parallel_counts.pop("sweep.batches")
+    assert parallel_counts == serial_counts
+
+
+def test_observed_sweep_is_byte_identical_and_counts_cache_traffic(
+    all_small_traces, tmp_path
+):
+    traces = _pair(all_small_traces)
+    baseline = run_sweep(traces, delays=DELAYS)
+
+    registry = Registry()
+    cache = SweepCache(
+        tmp_path / "cache", obs=registry.child("sweep.cache")
+    )
+    cold = run_sweep(traces, delays=DELAYS, cache=cache, obs=registry)
+    assert cold == baseline
+    counters = registry.snapshot()["counters"]
+    cells = len(cold)
+    assert counters["sweep.cache.misses"] == cells
+    assert counters["sweep.cache.stores"] == cells
+    assert counters["sweep.cells_replayed"] == cells
+
+    warm_registry = Registry()
+    warm_cache = SweepCache(
+        tmp_path / "cache", obs=warm_registry.child("sweep.cache")
+    )
+    warm = run_sweep(
+        traces, delays=DELAYS, cache=warm_cache, obs=warm_registry
+    )
+    assert warm == baseline
+    warm_counters = warm_registry.snapshot()["counters"]
+    assert warm_counters["sweep.cache.hits"] == cells
+    assert warm_counters["sweep.cells_cached"] == cells
+    assert warm_counters.get("sweep.cells_replayed", 0) == 0

@@ -8,7 +8,6 @@ from repro.profiling import (
     BitTracingProfiler,
     BlockProfiler,
     EdgeProfiler,
-    HeadCounterProfiler,
     KBoundedPathProfiler,
     compare_schemes,
 )

@@ -85,6 +85,38 @@ def test_digest_differs_when_content_differs(inputs, other):
 
 @given(inputs=trace_inputs)
 @_settings
+def test_digest_independent_of_byte_order(inputs):
+    """The digest is a property of values, not of host byte order.
+
+    The constructor canonicalizes ``path_ids`` to the native int64, so
+    the foreign-order array is planted directly — the in-memory shape a
+    trace would have on an opposite-endian host.  Hashing raw
+    ``tobytes()`` (the old behavior) digests these differently.
+    """
+    name, num_paths, sequence = inputs
+    native = _build_trace(name, num_paths, sequence)
+    foreign = _build_trace(name, num_paths, sequence)
+    swapped = foreign.path_ids.astype(
+        np.dtype(np.int64).newbyteorder()
+    )
+    assert swapped.dtype.byteorder != native.path_ids.dtype.byteorder
+    foreign.path_ids = swapped
+    assert trace_digest(foreign) == trace_digest(native)
+
+
+@given(inputs=trace_inputs)
+@_settings
+def test_digest_independent_of_dtype_spelling(inputs):
+    """Equal values in a narrower integer dtype digest equally too."""
+    name, num_paths, sequence = inputs
+    native = _build_trace(name, num_paths, sequence)
+    narrow = _build_trace(name, num_paths, sequence)
+    narrow.path_ids = narrow.path_ids.astype(np.int32)
+    assert trace_digest(narrow) == trace_digest(native)
+
+
+@given(inputs=trace_inputs)
+@_settings
 def test_digest_sensitive_to_name_and_sequence(inputs):
     name, num_paths, sequence = inputs
     base = _build_trace(name, num_paths, sequence)

@@ -1,5 +1,7 @@
 """CLI command coverage (all through main(argv), no subprocesses)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -94,6 +96,59 @@ def test_sweep_parallel_matches_serial_output(capsys, tmp_path):
     assert main(base + ["--workers", "2"]) == 0
     parallel = capsys.readouterr().out
     assert parallel == serial
+
+
+def test_workers_rejects_negative_at_parse_time(capsys):
+    """A negative pool size is a usage error, not an executor crash."""
+    with pytest.raises(SystemExit):
+        main(["sweep", "deltablue", "--workers", "-2"])
+    assert "workers must be >= 0" in capsys.readouterr().err
+
+
+def test_run_alias_writes_metrics_manifest(capsys, tmp_path):
+    manifest = tmp_path / "manifest.json"
+    argv = [
+        "run",
+        "table2",
+        "--flow-scale",
+        "0.05",
+        "--no-cache",
+        "--metrics-json",
+        str(manifest),
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "Table 2" in captured.out
+    assert captured.err.startswith("metrics:")
+    data = json.loads(manifest.read_text())
+    assert data["manifest_format"] == 1
+    assert data["argv"] == argv
+    assert [p["name"] for p in data["phases"]] == ["experiment:table2"]
+    assert data["wall_seconds"] > 0
+
+
+def test_metrics_leave_output_byte_identical(capsys, tmp_path):
+    base = [
+        "sweep",
+        "deltablue",
+        "--flow-scale",
+        "0.05",
+        "--delays",
+        "1",
+        "--no-cache",
+    ]
+    assert main(base) == 0
+    plain = capsys.readouterr().out
+    manifest = tmp_path / "m.json"
+    flags = ["--metrics-json", str(manifest), "--quiet-metrics"]
+    assert main(base + flags) == 0
+    metered = capsys.readouterr()
+    assert metered.out == plain
+    assert metered.err == ""  # --quiet-metrics suppresses the summary
+    counters = json.loads(manifest.read_text())["counters"]
+    assert counters["sweep.cells_total"] == 2  # one delay, two schemes
+    assert counters["sweep.cells_replayed"] == 2
+    assert counters["sweep.prediction.outcomes"] == 2
 
 
 def test_dynamo(capsys):

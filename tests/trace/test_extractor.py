@@ -2,13 +2,13 @@
 
 import pytest
 
+from repro.errors import TraceError
 from repro.trace import (
     CFGWalker,
     PathExtractor,
     ScriptedOracle,
     extract_paths,
 )
-from repro.errors import TraceError
 
 
 def _run(program, decisions, max_blocks=256):
