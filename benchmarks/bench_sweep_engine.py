@@ -13,6 +13,13 @@ A second measurement times the same serial sweep with a live metrics
 the default null-registry run, and reports the overhead percentage.
 Observability is designed to publish at cell granularity, never per
 occurrence, so the overhead must stay in the low single digits.
+
+A third measurement times the parallel sweep with an explicit
+resilience policy (per-batch deadline armed, retries budgeted — the
+``--task-timeout``/``--max-retries`` configuration) against the plain
+parallel run.  On a healthy sweep the resilience machinery is pure
+bookkeeping — deadline arithmetic in the streaming wait loop — so its
+overhead must also stay small.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from conftest import emit
 from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.report import fmt, render_table
 from repro.obs import Registry
+from repro.resilience import RetryPolicy
 
 #: Process-pool size for the cold-parallel leg.
 WORKERS = 2
@@ -31,6 +39,14 @@ WORKERS = 2
 #: Generous ceiling for the observed-run overhead (the acceptance bar
 #: is < 5%; the assert leaves headroom so a noisy machine cannot flake).
 MAX_OBS_OVERHEAD_PERCENT = 25.0
+
+#: Ceiling for the resilient-vs-plain parallel overhead, equally padded
+#: against machine noise.
+MAX_RESILIENCE_OVERHEAD_PERCENT = 25.0
+
+#: A policy with every fault-handling feature armed; the deadline is
+#: far above any healthy batch, so nothing ever trips on this bench.
+RESILIENT = RetryPolicy(max_retries=2, task_timeout=600.0)
 
 
 def _timed(runner) -> tuple[float, list]:
@@ -50,16 +66,22 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
     parallel_s, parallel = _timed(
         lambda: run_sweep(full_traces, workers=WORKERS)
     )
+    resilient_s, resilient = _timed(
+        lambda: run_sweep(full_traces, workers=WORKERS, resilience=RESILIENT)
+    )
     cold_s, cold = _timed(lambda: run_sweep(full_traces, cache=cache))
     warm_s, warm = _timed(lambda: run_sweep(full_traces, cache=cache))
 
     assert observed == serial  # metrics never change results
     assert parallel == serial
+    assert resilient == serial  # fault handling never changes results
     assert cold == serial
     assert warm == serial
 
     overhead_percent = 100.0 * (observed_s / serial_s - 1.0)
     assert overhead_percent < MAX_OBS_OVERHEAD_PERCENT
+    resilience_percent = 100.0 * (resilient_s / parallel_s - 1.0)
+    assert resilience_percent < MAX_RESILIENCE_OVERHEAD_PERCENT
     counters = registry.snapshot()["counters"]
     assert counters["sweep.cells_replayed"] == len(serial)
     # The warm leg replayed nothing: every cell was a cache hit.
@@ -74,6 +96,8 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
          fmt(serial_s / observed_s, 2)],
         [f"cold parallel (workers={WORKERS})", fmt(parallel_s, 2),
          fmt(serial_s / parallel_s, 2)],
+        [f"cold parallel + resilience (timeout={RESILIENT.task_timeout:g}s)",
+         fmt(resilient_s, 2), fmt(serial_s / resilient_s, 2)],
         ["cold serial + cache fill", fmt(cold_s, 2),
          fmt(serial_s / cold_s, 2)],
         ["warm cache", fmt(warm_s, 2), fmt(serial_s / warm_s, 2)],
@@ -91,5 +115,7 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
         )
         + f"\nmetrics overhead: {overhead_percent:+.2f}% "
         "(observed vs null registry)"
+        + f"\nresilience overhead: {resilience_percent:+.2f}% "
+        "(deadline-armed vs plain parallel)"
         + f"\n{cache.stats.render()}",
     )

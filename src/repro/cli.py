@@ -20,6 +20,12 @@ to collect metrics (phases, counters, timers, cache statistics — see
 ``docs/observability.md``) and write the run manifest to ``PATH``; a
 one-line summary goes to stderr unless ``--quiet-metrics`` is given.
 Without the flag nothing is measured and nothing changes.
+
+Resilience: the sweep-running commands accept ``--task-timeout``,
+``--max-retries`` and ``--no-fallback-serial`` (see
+``docs/resilience.md``).  Ctrl-C/SIGTERM exits with code 130 after
+draining completed work: every finished cell is already in the cache
+and the partial manifest is written with ``"interrupted": true``.
 """
 
 from __future__ import annotations
@@ -29,13 +35,14 @@ import pathlib
 import sys
 
 from repro.dynamo import DynamoSystem
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.experiments import EXPERIMENT_IDS, run_experiment
 from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.extended import EXTENDED_IDS, run_extended
 from repro.experiments.report import render_table
 from repro.metrics import counter_space, hot_path_set
 from repro.obs import Registry, RunRecorder, get_registry, render_summary
+from repro.resilience import DEFAULT_POLICY, RetryPolicy
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import summarize
 from repro.workloads import BENCHMARK_ORDER, load_benchmark
@@ -75,10 +82,31 @@ def _engine_cache(
 
 
 def _metrics_registry(args: argparse.Namespace) -> Registry | None:
-    """A live registry when the invocation asked for metrics."""
-    if getattr(args, "metrics_json", None):
-        return Registry()
-    return None
+    """A live registry when the invocation asked for metrics.
+
+    The registry (and its recorder, set alongside) is stashed on
+    ``args`` so an interrupt can still flush the partial manifest from
+    :func:`main`'s handler.
+    """
+    registry = Registry() if getattr(args, "metrics_json", None) else None
+    args.registry = registry
+    return registry
+
+
+def _resilience_policy(args: argparse.Namespace) -> RetryPolicy:
+    """The sweep resilience policy the flags ask for."""
+    return RetryPolicy(
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        fallback_serial=not args.no_fallback_serial,
+    )
+
+
+def _run_recorder(args: argparse.Namespace) -> RunRecorder:
+    """A wall-clock recorder, stashed on ``args`` for interrupt flushes."""
+    recorder = RunRecorder(args.argv)
+    args.recorder = recorder
+    return recorder
 
 
 def _finish_metrics(
@@ -96,13 +124,31 @@ def _finish_metrics(
         )
 
 
+def _flush_interrupted_metrics(args: argparse.Namespace) -> None:
+    """Best-effort partial manifest after SIGINT/SIGTERM.
+
+    Everything the run measured before the drain point is preserved,
+    marked ``interrupted: true``.  A failure to write must not mask the
+    interrupt exit.
+    """
+    registry = getattr(args, "registry", None)
+    recorder = getattr(args, "recorder", None)
+    if registry is None or recorder is None:
+        return
+    try:
+        recorder.write(args.metrics_json, registry, interrupted=True)
+    except OSError:  # pragma: no cover - disk gone mid-interrupt
+        pass
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     names = args.names or list(EXPERIMENT_IDS)
     registry = _metrics_registry(args)
-    recorder = RunRecorder(args.argv)
+    recorder = _run_recorder(args)
     obs = get_registry(registry)
     cache = _engine_cache(args, registry)
+    resilience = _resilience_policy(args)
     for name in names:
         with obs.phase(f"experiment:{name}"):
             text = run_experiment(
@@ -111,6 +157,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 cache=cache,
                 obs=registry,
+                resilience=resilience,
             )
         print(text)
         print()
@@ -133,14 +180,19 @@ def _cmd_extended(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     registry = _metrics_registry(args)
-    recorder = RunRecorder(args.argv)
+    recorder = _run_recorder(args)
     obs = get_registry(registry)
     with obs.phase(f"sweep:{args.benchmark}"):
         trace = load_benchmark(
             args.benchmark, flow_scale=args.flow_scale
         ).trace()
         cache = _engine_cache(args, registry)
-        kwargs = {"workers": args.workers, "cache": cache, "obs": registry}
+        kwargs = {
+            "workers": args.workers,
+            "cache": cache,
+            "obs": registry,
+            "resilience": _resilience_policy(args),
+        }
         if args.delays:
             kwargs["delays"] = tuple(args.delays)
         points = run_sweep({trace.name: trace}, **kwargs)
@@ -177,7 +229,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_dynamo(args: argparse.Namespace) -> int:
     registry = _metrics_registry(args)
-    recorder = RunRecorder(args.argv)
+    recorder = _run_recorder(args)
     obs = get_registry(registry)
     with obs.phase(f"dynamo:{args.benchmark}"):
         trace = load_benchmark(
@@ -202,6 +254,36 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     trace = load_trace(args.file)
     print(summarize(trace).render())
     return 0
+
+
+def _timeout_type(text: str) -> float:
+    """Parse ``--task-timeout``; must be a positive number of seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"task timeout must be positive, got {value}"
+        )
+    return value
+
+
+def _retries_type(text: str) -> int:
+    """Parse ``--max-retries``; must be a non-negative count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"max retries must be >= 0 (0 fails fast), got {value}"
+        )
+    return value
 
 
 def _workers_type(text: str) -> int:
@@ -262,6 +344,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="disable the sweep result cache",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=_timeout_type,
+            default=DEFAULT_POLICY.task_timeout,
+            metavar="SECONDS",
+            help=(
+                "abandon and retry a sweep batch running longer than "
+                "this (pool mode only; default: no timeout)"
+            ),
+        )
+        p.add_argument(
+            "--max-retries",
+            type=_retries_type,
+            default=DEFAULT_POLICY.max_retries,
+            metavar="N",
+            help=(
+                "retries per failed/hung sweep batch before the run "
+                f"fails (default: {DEFAULT_POLICY.max_retries})"
+            ),
+        )
+        p.add_argument(
+            "--no-fallback-serial",
+            action="store_true",
+            help=(
+                "fail the sweep when the worker pool keeps dying "
+                "instead of degrading to in-process serial execution"
+            ),
         )
 
     def add_metrics_flags(p):
@@ -347,6 +457,17 @@ def main(argv: list[str] | None = None) -> int:
     args.argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.handler(args)
+    except SweepInterrupted as stop:
+        # Graceful Ctrl-C/SIGTERM: completed cells are in the cache, the
+        # partial manifest is flushed, and the exit code is the shell
+        # convention for death-by-SIGINT (128 + 2) — no traceback.
+        print(f"interrupted: {stop}", file=sys.stderr)
+        _flush_interrupted_metrics(args)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        _flush_interrupted_metrics(args)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -78,3 +78,93 @@ class DynamoError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class SweepExecutionError(ExperimentError):
+    """A sweep batch could not be completed within the resilience policy.
+
+    Base class of the executor's failure taxonomy; carries enough
+    coordinates (benchmark, batch index, attempts used) to identify the
+    failing unit of work in logs and bug reports.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        benchmark: str | None = None,
+        batch_index: int | None = None,
+        attempts: int | None = None,
+    ):
+        self.benchmark = benchmark
+        self.batch_index = batch_index
+        self.attempts = attempts
+        parts = []
+        if benchmark is not None:
+            parts.append(f"benchmark={benchmark}")
+        if batch_index is not None:
+            parts.append(f"batch={batch_index}")
+        if attempts is not None:
+            parts.append(f"attempts={attempts}")
+        suffix = f" [{', '.join(parts)}]" if parts else ""
+        super().__init__(message + suffix)
+
+
+class WorkerCrashError(SweepExecutionError):
+    """A sweep worker died (or returned a corrupt result) past the retry
+    budget.
+
+    Raised after the executor has exhausted its
+    :class:`~repro.resilience.RetryPolicy` for one batch, or when a
+    broken process pool cannot be recovered.  The original failure, if
+    any, is chained as ``__cause__``.
+    """
+
+
+class BatchTimeoutError(SweepExecutionError):
+    """A sweep batch exceeded its per-task timeout past the retry budget.
+
+    ``timeout_seconds`` records the deadline each attempt was given.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        benchmark: str | None = None,
+        batch_index: int | None = None,
+        attempts: int | None = None,
+        timeout_seconds: float | None = None,
+    ):
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            message,
+            benchmark=benchmark,
+            batch_index=batch_index,
+            attempts=attempts,
+        )
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep was stopped by SIGINT/SIGTERM before finishing.
+
+    Carries the work that *did* complete: ``partial`` holds the finished
+    :class:`~repro.experiments.sweep.SweepPoint` results in canonical
+    order, ``completed``/``total`` count cells.  Every completed cell
+    was already flushed to the sweep cache (when one was attached), so a
+    rerun resumes without replaying them.
+    """
+
+    def __init__(
+        self,
+        partial: list | None = None,
+        completed: int = 0,
+        total: int = 0,
+        signal_name: str = "SIGINT",
+    ):
+        self.partial = list(partial) if partial is not None else []
+        self.completed = completed
+        self.total = total
+        self.signal_name = signal_name
+        super().__init__(
+            f"sweep interrupted by {signal_name} after "
+            f"{completed}/{total} cells"
+        )

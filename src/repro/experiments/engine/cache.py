@@ -29,6 +29,10 @@ invalidation and treated as a miss — the engine recomputes and
 overwrites — and a store that fails for *any* reason (an unwritable
 disk as much as a point that does not serialize) is logged and counted
 as a failed store.  Cache failures never propagate to the experiment.
+A corrupt entry is additionally *quarantined*: renamed to
+``<key>.corrupt`` (and counted under ``quarantined``) so a persistently
+bad file is parsed and logged at most once, never on every run, while
+its bytes remain available for post-mortem inspection.
 
 Accounting lives in :class:`CacheStats`, a read-view over
 ``repro.obs`` counters: hand :class:`SweepCache` an observability
@@ -132,6 +136,7 @@ class CacheStats:
         self._stores = self._registry.counter("stores")
         self._invalidations = self._registry.counter("invalidations")
         self._store_failures = self._registry.counter("store_failures")
+        self._quarantined = self._registry.counter("quarantined")
 
     @property
     def hits(self) -> int:
@@ -159,6 +164,11 @@ class CacheStats:
         return self._store_failures.value
 
     @property
+    def quarantined(self) -> int:
+        """Corrupt entries renamed to ``<key>.corrupt`` for post-mortem."""
+        return self._quarantined.value
+
+    @property
     def lookups(self) -> int:
         """Total ``get`` calls served."""
         return self.hits + self.misses
@@ -169,6 +179,8 @@ class CacheStats:
             f"sweep cache: {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stores, {self.invalidations} invalidated"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
         if self.store_failures:
             text += f", {self.store_failures} failed stores"
         return text
@@ -218,12 +230,18 @@ class SweepCache:
         """Where ``key``'s entry lives (whether or not it exists)."""
         return self.root / f"{key}.json"
 
+    def quarantine_path(self, key: str) -> pathlib.Path:
+        """Where ``key``'s entry lands if it is found corrupt."""
+        return self.root / f"{key}.corrupt"
+
     def get(self, key: str) -> SweepPoint | None:
         """The cached point for ``key``, or ``None`` on miss.
 
         Unreadable or corrupt entries degrade to a miss: the problem is
-        logged, the entry discarded and counted in
-        :attr:`CacheStats.invalidations`.
+        logged and counted in :attr:`CacheStats.invalidations`, and a
+        corrupt entry is *quarantined* — renamed to ``<key>.corrupt`` —
+        so it can never be re-parsed and re-logged on a later run, while
+        the bytes stay on disk for post-mortem inspection.
         """
         stats = self.stats
         path = self.entry_path(key)
@@ -252,12 +270,14 @@ class SweepCache:
             point = _point_from_payload(entry["point"])
         except (ValueError, KeyError, TypeError) as error:
             logger.warning(
-                "sweep cache: corrupt entry %s (%s); recomputing",
+                "sweep cache: corrupt entry %s (%s); quarantined, "
+                "recomputing",
                 path,
                 error,
             )
-            self._discard(path)
+            self._quarantine(path, self.quarantine_path(key))
             stats._invalidations.inc()
+            stats._quarantined.inc()
             stats._misses.inc()
             return None
         stats._hits.inc()
@@ -308,3 +328,12 @@ class SweepCache:
             path.unlink()
         except OSError:  # pragma: no cover - already gone or unwritable
             pass
+
+    @staticmethod
+    def _quarantine(path: pathlib.Path, target: pathlib.Path) -> None:
+        """Move a corrupt entry aside (best-effort; deletes as a last
+        resort so the poison can never be served again)."""
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - cross-device or unwritable
+            SweepCache._discard(path)

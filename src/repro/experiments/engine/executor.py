@@ -1,4 +1,5 @@
-"""Sweep execution: cache lookup, parallel replay, deterministic assembly.
+"""Sweep execution: cache lookup, fault-tolerant parallel replay,
+deterministic assembly.
 
 :func:`run_sweep` is the one entry point every delay sweep goes
 through.  It plans the (benchmark, scheme, τ) grid, serves whatever the
@@ -9,27 +10,57 @@ results back into the canonical order by task index.
 Determinism guarantee: each cell is a pure function of its trace and
 coordinates, computed by the same :func:`_run_cells` code path in every
 mode, and the output list is ordered by the planner's canonical index
-rather than by completion order.  Serial, parallel and cached runs of
-the same sweep therefore return *equal* point lists, and every rendered
-figure built from them is byte-identical — a property the equivalence
-test-suite locks down.
+rather than by completion order.  Serial, parallel, cached and *retried*
+runs of the same sweep therefore return *equal* point lists, and every
+rendered figure built from them is byte-identical — a property the
+equivalence test-suite locks down.
+
+Resilience (see :mod:`repro.resilience` and ``docs/resilience.md``):
+batches stream through the pool and every completed batch is written to
+the cache *immediately*, so an interrupted multi-hour sweep leaves a
+resumable cache rather than losing all replayed-but-unstored cells.  A
+:class:`~repro.resilience.RetryPolicy` bounds per-batch retries (with
+deterministic exponential backoff) and per-attempt timeouts; a broken
+process pool is respawned with its orphaned batches requeued, and past
+the restart budget the executor degrades to in-process serial execution
+instead of failing.  SIGINT/SIGTERM drain completed work, flush the
+cache, and raise :class:`~repro.errors.SweepInterrupted` carrying the
+partial results.  A :class:`~repro.resilience.FaultPlan` threads
+deterministic fault injection through :func:`_run_cells`, so the whole
+failure matrix is testable without real process murder.
 
 Observability: pass ``obs`` (a :class:`repro.obs.Registry`) and the
 engine accounts for itself under the ``sweep.`` prefix — cells planned
-/ cached / replayed, replay and hot-set timers, and the predictors'
-``profiling_ops``/``counter_space`` totals.  Pool workers measure into
-a local registry that travels back with their points and is merged
-after the pool joins, so parallel runs report the same totals as serial
-ones.  With no registry (the default) every instrument resolves to the
-shared null registry and the replay path is byte-for-byte the
-uninstrumented one.
+/ cached / replayed, replay and hot-set timers, the predictors'
+``profiling_ops``/``counter_space`` totals, and the resilience traffic
+(``retries`` / ``timeouts`` / ``pool_restarts`` / ``fallback_serial``).
+Pool workers measure into a local registry that travels back with their
+points and is merged as each batch completes, so parallel runs report
+the same totals as serial ones.  With no registry (the default) every
+instrument resolves to the shared null registry and the replay path is
+byte-for-byte the uninstrumented one.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ExperimentError
+from repro.errors import (
+    BatchTimeoutError,
+    ExperimentError,
+    ReproError,
+    SweepInterrupted,
+    WorkerCrashError,
+)
 from repro.experiments.engine.cache import SweepCache, cache_key, trace_digest
 from repro.experiments.engine.planner import (
     SweepTask,
@@ -46,6 +77,8 @@ from repro.experiments.sweep import (
 from repro.metrics.hotpaths import hot_path_set
 from repro.metrics.quality import evaluate_prediction
 from repro.obs.core import Registry, get_registry
+from repro.resilience import DEFAULT_POLICY, FaultPlan, RetryPolicy
+from repro.resilience.signals import InterruptFlag, interrupt_guard
 from repro.trace.recorder import PathTrace
 
 #: Cells per unit of parallel work.  One chunk ships its trace to a
@@ -54,11 +87,18 @@ from repro.trace.recorder import PathTrace
 #: trace transfer.
 DEFAULT_CHUNK_SIZE = 8
 
+#: Longest the scheduler blocks in one ``wait`` call; bounds how stale
+#: the interrupt flag and per-batch deadlines can get.
+_MAX_TICK_SECONDS = 0.5
+
 
 def _run_cells(
     trace: PathTrace,
     cells: list[tuple[str, int]],
     observe: bool = False,
+    faults: FaultPlan | None = None,
+    batch_index: int = 0,
+    attempt: int = 0,
 ) -> tuple[list[SweepPoint], dict | None]:
     """Replay a batch of (scheme, τ) cells on one trace.
 
@@ -70,7 +110,14 @@ def _run_cells(
     registry and returns its snapshot alongside the points (relative
     names; the caller mounts it wherever it belongs).  The points are
     identical either way.
+
+    ``faults`` is the deterministic fault-injection hook: planned
+    crashes/hangs fire before the replay, corruption mangles the
+    returned points, all keyed by ``(batch_index, attempt)`` so a
+    faulted run replays identically every time.
     """
+    if faults is not None:
+        faults.before(batch_index, attempt)
     obs = Registry() if observe else get_registry(None)
     with obs.span("hot_set"):
         hot = hot_path_set(trace)
@@ -82,28 +129,338 @@ def _run_cells(
         obs.counter("cells_replayed").inc()
         outcome.publish(obs.child("prediction"))
         points.append(SweepPoint.from_quality(trace.name, quality))
+    if faults is not None:
+        points = faults.after(batch_index, attempt, points)
     return points, (obs.snapshot() if observe else None)
 
 
-def _execute_batches(
-    traces: dict[str, PathTrace],
-    batches: list[list[SweepTask]],
-    workers: int,
-    observe: bool = False,
-) -> list[tuple[list[SweepPoint], dict | None]]:
-    """Run every batch, parallel when ``workers`` > 0, and keep order."""
-    arguments = [
-        (traces[batch[0].benchmark], [task.cell for task in batch])
-        for batch in batches
-    ]
-    if workers > 0:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_cells, trace, cells, observe)
-                for trace, cells in arguments
-            ]
-            return [future.result() for future in futures]
-    return [_run_cells(trace, cells, observe) for trace, cells in arguments]
+def _retryable(error: BaseException) -> bool:
+    """Whether a failed attempt is worth repeating.
+
+    Crashed workers, timeouts and corrupt results are transient by
+    assumption; any other :class:`ReproError` is a deterministic
+    configuration problem that would fail identically on every retry.
+    """
+    if isinstance(error, (WorkerCrashError, BatchTimeoutError)):
+        return True
+    return not isinstance(error, ReproError)
+
+
+class _BatchRun:
+    """One batch's scheduling state: attempts used, deadlines, backoff."""
+
+    __slots__ = ("batch", "order", "attempt", "deadline", "not_before")
+
+    def __init__(self, batch: list[SweepTask], order: int):
+        self.batch = batch
+        self.order = order
+        self.attempt = 0
+        self.deadline = float("inf")
+        self.not_before = 0.0
+
+    @property
+    def benchmark(self) -> str:
+        return self.batch[0].benchmark
+
+
+class _SweepRunner:
+    """Executes one sweep's pending batches under a resilience policy.
+
+    Owns the streaming scheduler: batches flow through the pool (or the
+    in-process serial loop), every completed batch is validated, merged
+    into the run's observability registry, written to the cache, and
+    placed at its canonical index — immediately, not after the pool
+    joins.
+    """
+
+    def __init__(
+        self,
+        traces: dict[str, PathTrace],
+        batches: list[list[SweepTask]],
+        policy: RetryPolicy,
+        faults: FaultPlan | None,
+        engine: Registry,
+        observe: bool,
+        cache: SweepCache | None,
+        keys: dict[int, str],
+        results: list[SweepPoint | None],
+        total_cells: int,
+        flag: InterruptFlag,
+    ):
+        self.traces = traces
+        self.runs = [_BatchRun(batch, order) for order, batch in enumerate(batches)]
+        self.policy = policy
+        self.faults = faults
+        self.engine = engine
+        self.observe = observe
+        self.cache = cache
+        self.keys = keys
+        self.results = results
+        self.total_cells = total_cells
+        self.flag = flag
+
+    # -- completion ----------------------------------------------------
+    def _validate(self, run: _BatchRun, payload) -> tuple[list, dict | None]:
+        """Check a batch result's shape against its plan."""
+        try:
+            points, snapshot = payload
+        except (TypeError, ValueError) as error:
+            raise WorkerCrashError(
+                "corrupt batch result: not a (points, snapshot) pair",
+                benchmark=run.benchmark,
+                batch_index=run.order,
+                attempts=run.attempt + 1,
+            ) from error
+        if len(points) != len(run.batch):
+            raise WorkerCrashError(
+                f"corrupt batch result: {len(points)} points for "
+                f"{len(run.batch)} cells",
+                benchmark=run.benchmark,
+                batch_index=run.order,
+                attempts=run.attempt + 1,
+            )
+        for task, point in zip(run.batch, points):
+            if point.scheme != task.scheme or point.delay != task.delay:
+                raise WorkerCrashError(
+                    "corrupt batch result: point coordinates do not "
+                    "match the plan",
+                    benchmark=run.benchmark,
+                    batch_index=run.order,
+                    attempts=run.attempt + 1,
+                )
+        return points, snapshot
+
+    def _complete(self, run: _BatchRun, payload) -> None:
+        """Validate, merge metrics, place results and flush the cache."""
+        points, snapshot = self._validate(run, payload)
+        if snapshot is not None:
+            # Worker measurements use batch-relative names; merging
+            # through the child view re-prefixes them.
+            self.engine.merge(snapshot)
+        for task, point in zip(run.batch, points):
+            self.results[task.index] = point
+            if self.cache is not None:
+                self.cache.put(self.keys[task.index], point)
+
+    # -- failure handling ----------------------------------------------
+    def _retry_or_raise(
+        self,
+        run: _BatchRun,
+        error: BaseException | None,
+        waiting: list[_BatchRun],
+        timed_out: bool = False,
+    ) -> None:
+        """Schedule one more attempt, or raise the structured failure."""
+        if error is not None and not _retryable(error):
+            raise error
+        if run.attempt + 1 > self.policy.max_retries:
+            if timed_out:
+                raise BatchTimeoutError(
+                    "sweep batch timed out on every attempt",
+                    benchmark=run.benchmark,
+                    batch_index=run.order,
+                    attempts=run.attempt + 1,
+                    timeout_seconds=self.policy.task_timeout,
+                ) from error
+            raise WorkerCrashError(
+                "sweep batch failed on every attempt",
+                benchmark=run.benchmark,
+                batch_index=run.order,
+                attempts=run.attempt + 1,
+            ) from error
+        run.attempt += 1
+        self.engine.counter("retries").inc()
+        run.not_before = time.monotonic() + self.policy.backoff_seconds(
+            run.order, run.attempt
+        )
+        waiting.append(run)
+
+    def _interrupt(self) -> None:
+        """Raise the structured interrupt with everything completed."""
+        self.engine.counter("interrupted").inc()
+        partial = [point for point in self.results if point is not None]
+        raise SweepInterrupted(
+            partial=partial,
+            completed=len(partial),
+            total=self.total_cells,
+            signal_name=self.flag.signal_name,
+        )
+
+    def _check_interrupt(self) -> None:
+        if self.flag.fired:
+            self._interrupt()
+
+    # -- serial execution ----------------------------------------------
+    def _run_serial(self, runs: list[_BatchRun]) -> None:
+        """In-process execution with retries (timeouts cannot preempt)."""
+        for run in sorted(runs, key=lambda r: r.order):
+            trace = self.traces[run.benchmark]
+            cells = [task.cell for task in run.batch]
+            while True:
+                self._check_interrupt()
+                try:
+                    payload = _run_cells(
+                        trace,
+                        cells,
+                        self.observe,
+                        self.faults,
+                        run.order,
+                        run.attempt,
+                    )
+                    self._complete(run, payload)
+                    break
+                except (SweepInterrupted, KeyboardInterrupt):
+                    raise
+                except Exception as error:
+                    waiting: list[_BatchRun] = []
+                    self._retry_or_raise(run, error, waiting)
+                    # No scheduler to wake us up: honor the backoff here.
+                    time.sleep(max(run.not_before - time.monotonic(), 0.0))
+
+    # -- pooled execution ----------------------------------------------
+    def _submit(
+        self, pool: ProcessPoolExecutor, run: _BatchRun
+    ) -> Future:
+        trace = self.traces[run.benchmark]
+        cells = [task.cell for task in run.batch]
+        future = pool.submit(
+            _run_cells,
+            trace,
+            cells,
+            self.observe,
+            self.faults,
+            run.order,
+            run.attempt,
+        )
+        if self.policy.task_timeout is not None:
+            run.deadline = time.monotonic() + self.policy.task_timeout
+        else:
+            run.deadline = float("inf")
+        return future
+
+    def _tick(
+        self, inflight: dict[Future, _BatchRun], waiting: list[_BatchRun]
+    ) -> float:
+        """How long the next ``wait`` may block."""
+        now = time.monotonic()
+        horizon = now + _MAX_TICK_SECONDS
+        for run in inflight.values():
+            horizon = min(horizon, run.deadline)
+        for run in waiting:
+            horizon = min(horizon, run.not_before)
+        return max(horizon - now, 0.01)
+
+    def _handle_pool_break(
+        self,
+        victims: list[tuple[_BatchRun, BaseException]],
+        inflight: dict[Future, _BatchRun],
+        ready: deque,
+        waiting: list[_BatchRun],
+        restarts: int,
+    ) -> int:
+        """Account a pool death; requeue victims and orphaned batches."""
+        self.engine.counter("pool_restarts").inc()
+        restarts += 1
+        for run, error in victims:
+            self._retry_or_raise(run, error, waiting)
+        # The orphans did nothing wrong: requeue at the same attempt.
+        orphans = sorted(inflight.values(), key=lambda r: r.order)
+        inflight.clear()
+        ready.extendleft(reversed(orphans))
+        return restarts
+
+    def _run_pooled(self, workers: int) -> None:
+        policy = self.policy
+        ready: deque[_BatchRun] = deque(self.runs)
+        waiting: list[_BatchRun] = []
+        inflight: dict[Future, _BatchRun] = {}
+        restarts = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while ready or waiting or inflight:
+                self._check_interrupt()
+                now = time.monotonic()
+                due = [run for run in waiting if run.not_before <= now]
+                if due:
+                    waiting = [
+                        run for run in waiting if run.not_before > now
+                    ]
+                    ready.extend(sorted(due, key=lambda r: r.order))
+                broken: BrokenExecutor | None = None
+                while ready and len(inflight) < workers and broken is None:
+                    run = ready.popleft()
+                    try:
+                        inflight[self._submit(pool, run)] = run
+                    except BrokenExecutor as error:
+                        # The pool died between completions; the batch
+                        # we tried to place is an orphan, not a victim.
+                        ready.appendleft(run)
+                        broken = error
+                victims: list[tuple[_BatchRun, BaseException]] = []
+                if broken is None and inflight:
+                    done, _ = wait(
+                        set(inflight),
+                        timeout=self._tick(inflight, waiting),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        run = inflight.pop(future)
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool as error:
+                            victims.append((run, error))
+                            continue
+                        except (SweepInterrupted, KeyboardInterrupt):
+                            raise
+                        except Exception as error:
+                            self._retry_or_raise(run, error, waiting)
+                            continue
+                        try:
+                            self._complete(run, payload)
+                        except WorkerCrashError as error:
+                            self._retry_or_raise(run, error, waiting)
+                    now = time.monotonic()
+                    for future, run in list(inflight.items()):
+                        if run.deadline <= now:
+                            # Abandon the future; a late result from it
+                            # is never read.  The zombie worker slot
+                            # frees itself when the attempt finishes.
+                            del inflight[future]
+                            self.engine.counter("timeouts").inc()
+                            self._retry_or_raise(
+                                run, None, waiting, timed_out=True
+                            )
+                elif broken is None and waiting:
+                    pause = min(run.not_before for run in waiting) - now
+                    time.sleep(min(max(pause, 0.0), _MAX_TICK_SECONDS))
+                if victims or broken is not None:
+                    if broken is not None:
+                        victims = []
+                    restarts = self._handle_pool_break(
+                        victims, inflight, ready, waiting, restarts
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if restarts > policy.max_pool_restarts:
+                        if not policy.fallback_serial:
+                            raise WorkerCrashError(
+                                f"process pool died {restarts} times and "
+                                "serial fallback is disabled"
+                            )
+                        self.engine.counter("fallback_serial").inc()
+                        remaining = list(ready) + waiting
+                        ready.clear()
+                        waiting = []
+                        self._run_serial(remaining)
+                        return
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, workers: int) -> None:
+        if workers > 0:
+            self._run_pooled(workers)
+        else:
+            self._run_serial(self.runs)
 
 
 def run_sweep(
@@ -114,6 +471,8 @@ def run_sweep(
     cache: SweepCache | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     obs: Registry | None = None,
+    resilience: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[SweepPoint]:
     """Measure every (benchmark, scheme, τ) cell of a sweep.
 
@@ -126,27 +485,48 @@ def run_sweep(
         Process-pool size; ``0`` (the default) runs serially in-process.
     cache:
         Optional :class:`SweepCache`.  Cached cells are served without
-        replay; computed cells are stored back.  Hit/miss accounting
-        accumulates on ``cache.stats``.
+        replay; computed cells are stored back *as each batch completes*,
+        so an interrupted sweep resumes from everything it finished.
+        Hit/miss accounting accumulates on ``cache.stats``.
     chunk_size:
         Cells per scheduled unit of parallel work.
     obs:
         Optional observability registry; engine metrics land under its
         ``sweep.`` prefix (see the module docstring).  ``None`` runs
         uninstrumented at zero cost.
+    resilience:
+        Optional :class:`~repro.resilience.RetryPolicy`; ``None`` uses
+        :data:`~repro.resilience.DEFAULT_POLICY` (bounded retries, no
+        timeout, pool respawn with serial fallback).
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan` for deterministic
+        fault injection (tests and drills only).
+
+    Raises
+    ------
+    SweepInterrupted
+        On SIGINT/SIGTERM, after draining completed batches and
+        flushing the cache; carries the partial results.
+    WorkerCrashError / BatchTimeoutError
+        When one batch exhausts the policy's retry budget.
     """
     if workers < 0:
         raise ExperimentError(f"workers must be >= 0, got {workers}")
+    policy = resilience if resilience is not None else DEFAULT_POLICY
     engine = get_registry(obs).child("sweep")
     observe = engine.enabled
     with engine.span("total"):
         tasks = plan_sweep(list(traces), schemes=schemes, delays=delays)
         engine.counter("runs").inc()
         engine.counter("cells_total").inc(len(tasks))
-        # Interned up front so every manifest carries the full pair,
+        # Interned up front so every manifest carries the full set,
         # zeros included.
         engine.counter("cells_cached")
         engine.counter("cells_replayed")
+        engine.counter("retries")
+        engine.counter("timeouts")
+        engine.counter("pool_restarts")
+        engine.counter("fallback_serial")
         engine.gauge("workers").set(workers)
         results: list[SweepPoint | None] = [None] * len(tasks)
 
@@ -184,16 +564,34 @@ def run_sweep(
                 )
             ]
             engine.counter("batches").inc(len(batches))
-            for batch, (points, snapshot) in zip(
-                batches, _execute_batches(traces, batches, workers, observe)
-            ):
-                if snapshot is not None:
-                    # Worker measurements use batch-relative names;
-                    # merging through the child view re-prefixes them.
-                    engine.merge(snapshot)
-                for task, point in zip(batch, points):
-                    results[task.index] = point
-                    if cache is not None:
-                        cache.put(keys[task.index], point)
+            with interrupt_guard() as flag:
+                runner = _SweepRunner(
+                    traces=traces,
+                    batches=batches,
+                    policy=policy,
+                    faults=faults,
+                    engine=engine,
+                    observe=observe,
+                    cache=cache,
+                    keys=keys,
+                    results=results,
+                    total_cells=len(tasks),
+                    flag=flag,
+                )
+                try:
+                    runner.run(workers)
+                except KeyboardInterrupt:
+                    # Signal arrived where the guard could not trap it
+                    # (non-main thread, or the operator's second Ctrl-C).
+                    engine.counter("interrupted").inc()
+                    partial = [
+                        point for point in results if point is not None
+                    ]
+                    raise SweepInterrupted(
+                        partial=partial,
+                        completed=len(partial),
+                        total=len(tasks),
+                        signal_name=flag.signal_name,
+                    ) from None
 
     return [point for point in results if point is not None]

@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     scheme_curve,
 )
 from repro.obs.core import Registry
+from repro.resilience import RetryPolicy
 from repro.trace.recorder import PathTrace
 from repro.workloads.spec import BENCHMARK_ORDER
 
@@ -75,18 +76,25 @@ def build_figure2(
     workers: int = 0,
     cache: SweepCache | None = None,
     obs: Registry | None = None,
+    resilience: RetryPolicy | None = None,
 ) -> FigureCurves:
     """Sweep every benchmark with both schemes.
 
     The sweep runs on the engine: ``workers`` > 0 replays cells on a
     process pool and ``cache`` serves previously computed cells — both
     produce output identical to the serial, uncached sweep.  ``obs``
-    reaches the engine's instrumentation (see ``docs/observability.md``).
+    reaches the engine's instrumentation (see ``docs/observability.md``)
+    and ``resilience`` its retry/timeout policy (``docs/resilience.md``).
     """
     if traces is None:
         traces = benchmark_traces(flow_scale=flow_scale)
     points = run_sweep(
-        traces, delays=delays, workers=workers, cache=cache, obs=obs
+        traces,
+        delays=delays,
+        workers=workers,
+        cache=cache,
+        obs=obs,
+        resilience=resilience,
     )
     return FigureCurves(points=points, delays=delays)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.experiments.engine import SweepCache
 from repro.experiments.figure2 import FigureCurves, build_figure2, render_panel
 from repro.obs.core import Registry
+from repro.resilience import RetryPolicy
 from repro.trace.recorder import PathTrace
 
 
@@ -19,6 +20,7 @@ def build_figure3(
     workers: int = 0,
     cache: SweepCache | None = None,
     obs: Registry | None = None,
+    resilience: RetryPolicy | None = None,
 ) -> FigureCurves:
     """Figure 3 shares Figure 2's sweep; build (or reuse) it.
 
@@ -31,6 +33,7 @@ def build_figure3(
         workers=workers,
         cache=cache,
         obs=obs,
+        resilience=resilience,
     )
 
 

@@ -30,6 +30,7 @@ from repro.experiments.phases import render_phase_report, run_phase_experiment
 from repro.experiments.table1 import build_table1, render_table1
 from repro.experiments.table2 import build_table2, render_table2
 from repro.obs.core import Registry
+from repro.resilience import RetryPolicy
 
 
 def _run_table1(
@@ -37,6 +38,7 @@ def _run_table1(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     return render_table1(build_table1(flow_scale=flow_scale))
 
@@ -46,6 +48,7 @@ def _run_table2(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     return render_table2(build_table2(flow_scale=flow_scale))
 
@@ -55,10 +58,15 @@ def _run_figure2(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     return render_figure2(
         build_figure2(
-            flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+            flow_scale=flow_scale,
+            workers=workers,
+            cache=cache,
+            obs=obs,
+            resilience=resilience,
         )
     )
 
@@ -68,10 +76,15 @@ def _run_figure3(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     return render_figure3(
         build_figure3(
-            flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+            flow_scale=flow_scale,
+            workers=workers,
+            cache=cache,
+            obs=obs,
+            resilience=resilience,
         )
     )
 
@@ -81,6 +94,7 @@ def _run_figure4(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     return render_figure4(build_figure4(flow_scale=flow_scale))
 
@@ -90,6 +104,7 @@ def _run_figure5(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     text = render_figure5(build_figure5(flow_scale=flow_scale))
     bails = bail_out_report(flow_scale=flow_scale)
@@ -104,9 +119,14 @@ def _run_claims(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     curves = build_figure2(
-        flow_scale=flow_scale, workers=workers, cache=cache, obs=obs
+        flow_scale=flow_scale,
+        workers=workers,
+        cache=cache,
+        obs=obs,
+        resilience=resilience,
     )
     return render_claims(evaluate_claims(curves=curves))
 
@@ -116,13 +136,18 @@ def _run_phases(
     workers: int,
     cache: SweepCache | None,
     obs: Registry | None,
+    resilience: RetryPolicy | None,
 ) -> str:
     flow = max(int(400_000 * flow_scale), 20_000)
     return render_phase_report(run_phase_experiment(flow=flow))
 
 
 EXPERIMENTS: dict[
-    str, Callable[[float, int, SweepCache | None, Registry | None], str]
+    str,
+    Callable[
+        [float, int, SweepCache | None, Registry | None, RetryPolicy | None],
+        str,
+    ],
 ] = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -147,11 +172,13 @@ def run_experiment(
     workers: int = 0,
     cache: SweepCache | None = None,
     obs: Registry | None = None,
+    resilience: RetryPolicy | None = None,
 ) -> str:
     """Regenerate one experiment and return its text rendering.
 
-    ``workers``, ``cache`` and ``obs`` reach the sweep engine for the
-    experiments in :data:`SWEEP_EXPERIMENTS`; the others ignore them.
+    ``workers``, ``cache``, ``obs`` and ``resilience`` reach the sweep
+    engine for the experiments in :data:`SWEEP_EXPERIMENTS`; the others
+    ignore them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -160,4 +187,4 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
-    return runner(flow_scale, workers, cache, obs)
+    return runner(flow_scale, workers, cache, obs, resilience)

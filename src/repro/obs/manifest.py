@@ -17,6 +17,7 @@ The schema (``manifest_format`` 1)::
       "git_rev": "<hex>" | null,
       "started_at_unix": 1754000000.0,
       "wall_seconds": 12.34,
+      "interrupted": false,
       "phases": [{"name": ..., "wall_seconds": ..., "count": ...}, ...],
       "counters": {"sweep.cells_total": 306, ...},
       "gauges": {...},
@@ -65,11 +66,14 @@ def build_manifest(
     started_at: float | None = None,
     wall_seconds: float | None = None,
     git_rev: str | None = None,
+    interrupted: bool = False,
 ) -> dict:
     """Assemble the manifest dict for one finished run.
 
     ``registry`` supplies phases/counters/gauges/timers via its
     snapshot; the remaining fields describe the invocation itself.
+    ``interrupted`` marks a run stopped by SIGINT/SIGTERM — the
+    manifest then records everything measured up to the drain point.
     """
     snapshot = registry.snapshot()
     timers = snapshot["timers"]
@@ -91,6 +95,7 @@ def build_manifest(
         "git_rev": git_rev if git_rev is not None else git_revision(),
         "started_at_unix": started_at,
         "wall_seconds": wall_seconds,
+        "interrupted": interrupted,
         "phases": phases,
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
@@ -104,6 +109,7 @@ def write_manifest(
     argv: list[str] | None = None,
     started_at: float | None = None,
     wall_seconds: float | None = None,
+    interrupted: bool = False,
 ) -> pathlib.Path:
     """Write the run manifest as JSON; returns the path written.
 
@@ -113,7 +119,11 @@ def write_manifest(
     """
     target = pathlib.Path(path)
     manifest = build_manifest(
-        registry, argv=argv, started_at=started_at, wall_seconds=wall_seconds
+        registry,
+        argv=argv,
+        started_at=started_at,
+        wall_seconds=wall_seconds,
+        interrupted=interrupted,
     )
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(
@@ -145,7 +155,10 @@ class RunRecorder:
         return time.perf_counter() - self._start
 
     def write(
-        self, path: str | pathlib.Path, registry: Registry
+        self,
+        path: str | pathlib.Path,
+        registry: Registry,
+        interrupted: bool = False,
     ) -> pathlib.Path:
         """Write the manifest for this invocation."""
         return write_manifest(
@@ -154,4 +167,5 @@ class RunRecorder:
             argv=self.argv,
             started_at=self.started_at,
             wall_seconds=self.wall_seconds,
+            interrupted=interrupted,
         )

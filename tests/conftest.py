@@ -8,6 +8,9 @@ per session.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -21,6 +24,43 @@ from repro.workloads import load_benchmark
 #: Small enough to generate in seconds, shared (via the per-process
 #: workload cache) between every test module that uses it.
 ENGINE_TEST_SCALE = 0.02
+
+
+#: Hard per-test ceiling.  The resilience suite deliberately hangs pool
+#: workers; a bug in the timeout/drain machinery must fail one test, not
+#: wedge the whole run until CI's job timeout.  Generous on purpose —
+#: the slowest legitimate test is well under a minute.
+TEST_TIMEOUT_SECONDS = 300
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Abort any single test that runs longer than the hard ceiling.
+
+    SIGALRM-based (no third-party timeout plugin in this environment);
+    degrades to a no-op off the main thread or on platforms without
+    the signal.
+    """
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS}s hard timeout",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_addoption(parser):

@@ -46,10 +46,13 @@ def test_corrupt_entries_recover_with_identical_results(
         recovered = run_sweep(pair_traces, delays=DELAYS, cache=cache)
     assert recovered == cold
     assert cache.stats.invalidations == 4
+    assert cache.stats.quarantined == 4
     assert cache.stats.misses == 4
     assert cache.stats.hits == len(cold) - 4
     assert cache.stats.stores == 4  # corrupt cells recomputed and rewritten
     assert sum("recomputing" in record.message for record in caplog.records) == 4
+    # The poisoned bytes survive for post-mortem, under a new name.
+    assert len(list(root.glob("*.corrupt"))) == 4
 
     # The rewritten entries are valid again: a third run is all hits.
     final = SweepCache(root)
@@ -72,6 +75,41 @@ def test_entry_under_wrong_key_is_invalidated(pair_traces, tmp_path):
     assert cache.get(key_b) is None
     assert cache.stats.invalidations == 1
     assert not cache.entry_path(key_b).exists()
+
+
+def test_corrupt_entry_is_quarantined_once(tmp_path, caplog):
+    """The poison is parsed and logged at most once: after quarantine
+    the next lookup is a plain miss, not another invalidation."""
+    cache = SweepCache(tmp_path / "cache")
+    key = cache_key("2" * 64, "net", 10)
+    point = SweepPoint("x", "net", 10, 1.0, 90.0, 50.0, 5, 4)
+    cache.put(key, point)
+    _corrupt(cache.entry_path(key), b"not json")
+
+    with caplog.at_level(
+        logging.WARNING, logger="repro.experiments.engine.cache"
+    ):
+        assert cache.get(key) is None
+    assert cache.stats.quarantined == 1
+    assert not cache.entry_path(key).exists()
+    assert cache.quarantine_path(key).read_bytes() == b"not json"
+    assert sum("quarantined" in r.message for r in caplog.records) == 1
+    assert "1 quarantined" in cache.stats.render()
+
+    caplog.clear()
+    with caplog.at_level(
+        logging.WARNING, logger="repro.experiments.engine.cache"
+    ):
+        assert cache.get(key) is None  # plain miss now
+    assert cache.stats.quarantined == 1
+    assert cache.stats.invalidations == 1
+    assert not caplog.records
+
+    # A recomputed store makes the key healthy again without touching
+    # the quarantined bytes.
+    cache.put(key, point)
+    assert cache.get(key) == point
+    assert cache.quarantine_path(key).exists()
 
 
 def test_cache_dir_created_lazily(pair_traces, tmp_path):

@@ -1,0 +1,57 @@
+"""The interrupt guard: traps, escalates, restores."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.resilience import interrupt_guard
+
+
+def _deliver(signum: int) -> None:
+    os.kill(os.getpid(), signum)
+    # The handler runs at the next bytecode boundary; give it one.
+    time.sleep(0.01)
+
+
+def test_guard_traps_sigint_into_the_flag():
+    with interrupt_guard() as flag:
+        assert not flag.fired
+        _deliver(signal.SIGINT)
+        assert flag.fired
+        assert flag.signal_name == "SIGINT"
+
+
+def test_guard_traps_sigterm():
+    with interrupt_guard() as flag:
+        _deliver(signal.SIGTERM)
+        assert flag.fired
+        assert flag.signal_name == "SIGTERM"
+
+
+def test_second_signal_escalates_to_keyboard_interrupt():
+    with interrupt_guard() as flag:
+        _deliver(signal.SIGINT)
+        assert flag.fired
+        with pytest.raises(KeyboardInterrupt):
+            _deliver(signal.SIGINT)
+
+
+def test_previous_handlers_restored():
+    before_int = signal.getsignal(signal.SIGINT)
+    before_term = signal.getsignal(signal.SIGTERM)
+    with interrupt_guard():
+        assert signal.getsignal(signal.SIGINT) is not before_int
+    assert signal.getsignal(signal.SIGINT) is before_int
+    assert signal.getsignal(signal.SIGTERM) is before_term
+
+
+def test_handlers_restored_when_the_block_raises():
+    before = signal.getsignal(signal.SIGINT)
+    with pytest.raises(RuntimeError):
+        with interrupt_guard():
+            raise RuntimeError("boom")
+    assert signal.getsignal(signal.SIGINT) is before

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import SweepInterrupted
 
 
 def test_list(capsys):
@@ -149,6 +150,117 @@ def test_metrics_leave_output_byte_identical(capsys, tmp_path):
     assert counters["sweep.cells_total"] == 2  # one delay, two schemes
     assert counters["sweep.cells_replayed"] == 2
     assert counters["sweep.prediction.outcomes"] == 2
+
+
+def test_interrupt_exits_130_with_partial_manifest(
+    capsys, tmp_path, monkeypatch
+):
+    """Ctrl-C mid-sweep: shell exit convention, no traceback, and the
+    manifest that was recorded so far lands on disk marked interrupted."""
+
+    def interrupted_sweep(traces, **kwargs):
+        raise SweepInterrupted(
+            partial=[], completed=2, total=4, signal_name="SIGINT"
+        )
+
+    monkeypatch.setattr("repro.cli.run_sweep", interrupted_sweep)
+    manifest = tmp_path / "partial.json"
+    code = main(
+        [
+            "sweep",
+            "deltablue",
+            "--flow-scale",
+            "0.05",
+            "--no-cache",
+            "--metrics-json",
+            str(manifest),
+        ]
+    )
+    assert code == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "SIGINT" in captured.err
+    assert "Traceback" not in captured.err
+    data = json.loads(manifest.read_text())
+    assert data["interrupted"] is True
+    assert data["manifest_format"] == 1
+
+
+def test_keyboard_interrupt_exits_130(capsys, monkeypatch):
+    def impatient_sweep(traces, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.cli.run_sweep", impatient_sweep)
+    code = main(
+        ["sweep", "deltablue", "--flow-scale", "0.05", "--no-cache"]
+    )
+    assert code == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_completed_run_manifest_is_not_interrupted(capsys, tmp_path):
+    manifest = tmp_path / "clean.json"
+    assert main(
+        [
+            "sweep",
+            "deltablue",
+            "--flow-scale",
+            "0.05",
+            "--delays",
+            "1",
+            "--no-cache",
+            "--metrics-json",
+            str(manifest),
+            "--quiet-metrics",
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert json.loads(manifest.read_text())["interrupted"] is False
+
+
+def test_resilience_flags_reach_the_sweep(capsys, monkeypatch):
+    seen = {}
+
+    def spying_sweep(traces, **kwargs):
+        seen.update(kwargs)
+        raise SweepInterrupted(
+            partial=[], completed=0, total=0, signal_name="SIGINT"
+        )
+
+    monkeypatch.setattr("repro.cli.run_sweep", spying_sweep)
+    main(
+        [
+            "sweep",
+            "deltablue",
+            "--flow-scale",
+            "0.05",
+            "--no-cache",
+            "--task-timeout",
+            "7.5",
+            "--max-retries",
+            "4",
+            "--no-fallback-serial",
+        ]
+    )
+    capsys.readouterr()
+    policy = seen["resilience"]
+    assert policy.task_timeout == 7.5
+    assert policy.max_retries == 4
+    assert policy.fallback_serial is False
+
+
+def test_task_timeout_rejects_nonpositive_at_parse_time(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "deltablue", "--task-timeout", "0"])
+    assert "task timeout must be positive" in capsys.readouterr().err
+
+
+def test_max_retries_rejects_negative_at_parse_time(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "deltablue", "--max-retries", "-1"])
+    assert "max retries must be >= 0" in capsys.readouterr().err
 
 
 def test_dynamo(capsys):

@@ -18,6 +18,10 @@ def test_all_errors_derive_from_repro_error():
         "WorkloadError",
         "DynamoError",
         "ExperimentError",
+        "SweepExecutionError",
+        "WorkerCrashError",
+        "BatchTimeoutError",
+        "SweepInterrupted",
     ):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError), name
@@ -49,3 +53,38 @@ def test_single_except_clause_catches_everything():
     for cls in (errors.CFGError, errors.DynamoError, errors.TraceError):
         with pytest.raises(errors.ReproError):
             raise cls("boom")
+
+
+def test_sweep_execution_error_carries_coordinates():
+    error = errors.WorkerCrashError(
+        "worker died", benchmark="go", batch_index=3, attempts=2
+    )
+    assert error.benchmark == "go"
+    assert error.batch_index == 3
+    assert error.attempts == 2
+    assert "benchmark=go" in str(error)
+    assert "batch=3" in str(error)
+    bare = errors.WorkerCrashError("worker died")
+    assert bare.benchmark is None
+    assert str(bare) == "worker died"
+
+
+def test_batch_timeout_error_carries_deadline():
+    error = errors.BatchTimeoutError(
+        "too slow", benchmark="li", batch_index=0, timeout_seconds=1.5
+    )
+    assert error.timeout_seconds == 1.5
+    assert isinstance(error, errors.SweepExecutionError)
+
+
+def test_sweep_interrupted_carries_partial_results():
+    partial = ["point-a", "point-b"]
+    stop = errors.SweepInterrupted(
+        partial=partial, completed=2, total=8, signal_name="SIGINT"
+    )
+    assert stop.partial == partial
+    assert stop.completed == 2
+    assert stop.total == 8
+    assert stop.signal_name == "SIGINT"
+    assert "SIGINT" in str(stop)
+    assert "2/8" in str(stop)
