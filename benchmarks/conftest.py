@@ -10,6 +10,8 @@ artifact to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -17,6 +19,12 @@ import pytest
 from repro.experiments import benchmark_traces, build_figure2
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Flow scale for the session traces.  Defaults to the full calibrated
+#: workload; CI's bench-smoke leg sets ``REPRO_BENCH_FLOW_SCALE`` to a
+#: small fraction so the engine bench finishes in seconds while still
+#: exercising every mode end to end.
+BENCH_FLOW_SCALE = float(os.environ.get("REPRO_BENCH_FLOW_SCALE", "1.0"))
 
 
 @pytest.fixture(scope="session")
@@ -27,8 +35,8 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def full_traces():
-    """All nine benchmark traces at full calibrated flow."""
-    return benchmark_traces()
+    """All nine benchmark traces at the session flow scale."""
+    return benchmark_traces(flow_scale=BENCH_FLOW_SCALE)
 
 
 @pytest.fixture(scope="session")
@@ -48,3 +56,10 @@ def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def emit_json(results_dir: pathlib.Path, name: str, payload: dict) -> None:
+    """Write one experiment's machine-readable artifact."""
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[written to {path}]")

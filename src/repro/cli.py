@@ -155,6 +155,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 name,
                 flow_scale=args.flow_scale,
                 workers=args.workers,
+                chunk_size=args.chunk_size,
                 cache=cache,
                 obs=registry,
                 resilience=resilience,
@@ -189,6 +190,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache = _engine_cache(args, registry)
         kwargs = {
             "workers": args.workers,
+            "chunk_size": args.chunk_size,
             "cache": cache,
             "obs": registry,
             "resilience": _resilience_policy(args),
@@ -286,6 +288,21 @@ def _retries_type(text: str) -> int:
     return value
 
 
+def _chunk_size_type(text: str) -> int:
+    """Parse ``--chunk-size``: a positive cell count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"chunk size must be >= 1, got {value}"
+        )
+    return value
+
+
 def _workers_type(text: str) -> int:
     """Parse ``--workers``, rejecting negative pool sizes at parse time.
 
@@ -334,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
             type=_workers_type,
             default=0,
             help="sweep worker processes (0 = serial, the default)",
+        )
+        p.add_argument(
+            "--chunk-size",
+            type=_chunk_size_type,
+            default=None,
+            metavar="CELLS",
+            help=(
+                "cells per parallel sweep batch (default: autotuned "
+                "from the sweep shape and worker count)"
+            ),
         )
         p.add_argument(
             "--cache-dir",

@@ -16,9 +16,17 @@ from repro.experiments.engine.cache import (
     cache_key,
     trace_digest,
 )
+from repro.experiments.engine.dataplane import (
+    ArchiveHandle,
+    ReplayContext,
+    TraceArchive,
+    TraceDataPlane,
+    shared_memory_available,
+)
 from repro.experiments.engine.executor import DEFAULT_CHUNK_SIZE, run_sweep
 from repro.experiments.engine.planner import (
     SweepTask,
+    autotune_chunk_size,
     chunk_tasks,
     group_by_benchmark,
     plan_sweep,
@@ -27,13 +35,19 @@ from repro.experiments.engine.planner import (
 __all__ = [
     "CODE_VERSION",
     "DEFAULT_CHUNK_SIZE",
+    "ArchiveHandle",
     "CacheStats",
+    "ReplayContext",
     "SweepCache",
     "SweepTask",
+    "TraceArchive",
+    "TraceDataPlane",
+    "autotune_chunk_size",
     "cache_key",
     "chunk_tasks",
     "group_by_benchmark",
     "plan_sweep",
     "run_sweep",
+    "shared_memory_available",
     "trace_digest",
 ]

@@ -48,6 +48,7 @@ import logging
 import os
 import pathlib
 import tempfile
+import weakref
 
 import numpy as np
 
@@ -69,6 +70,15 @@ ENTRY_FORMAT = 1
 #: little-endian 8-byte signed, whatever the host's native order is.
 _DIGEST_DTYPE = np.dtype("<i8")
 
+#: Digest memo, keyed weakly by trace object so it never pins a trace in
+#: memory.  The value carries the table size seen at digest time: a
+#: shared path table can grow after the digest was taken (another trace
+#: recorded over the same table), which changes the content — such an
+#: entry is detected as stale and recomputed rather than served.
+_digest_memo: "weakref.WeakKeyDictionary[PathTrace, tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
 
 def trace_digest(trace: PathTrace) -> str:
     """Stable content digest of a trace.
@@ -78,7 +88,15 @@ def trace_digest(trace: PathTrace) -> str:
     digests produce identical sweep results; the digest is identical on
     little- and big-endian hosts and for any equivalent dtype spelling
     of the occurrence array.
+
+    Memoized per trace object: the engine digests the same traces once
+    per ``run_sweep`` call (for cache addressing *and* for data-plane
+    residency keys), and hashing a long occurrence array is the kind of
+    per-run fixed cost the sweep loop should pay once.
     """
+    memo = _digest_memo.get(trace)
+    if memo is not None and memo[0] == trace.num_paths:
+        return memo[1]
     hasher = hashlib.sha256()
     hasher.update(trace.name.encode("utf-8"))
     hasher.update(b"\x00")
@@ -92,7 +110,12 @@ def trace_digest(trace: PathTrace) -> str:
     ids = np.ascontiguousarray(trace.path_ids, dtype=_DIGEST_DTYPE)
     hasher.update(_DIGEST_DTYPE.str.encode("utf-8"))
     hasher.update(ids.tobytes())
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    try:
+        _digest_memo[trace] = (trace.num_paths, digest)
+    except TypeError:  # pragma: no cover - unweakreferenceable subclass
+        pass
+    return digest
 
 
 def cache_key(

@@ -62,8 +62,15 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.experiments.engine.cache import SweepCache, cache_key, trace_digest
+from repro.experiments.engine.dataplane import (
+    ReplayContext,
+    TraceDataPlane,
+    install_worker_handles,
+    worker_context,
+)
 from repro.experiments.engine.planner import (
     SweepTask,
+    autotune_chunk_size,
     chunk_tasks,
     group_by_benchmark,
     plan_sweep,
@@ -74,17 +81,18 @@ from repro.experiments.sweep import (
     SweepPoint,
     make_predictor,
 )
-from repro.metrics.hotpaths import hot_path_set
 from repro.metrics.quality import evaluate_prediction
 from repro.obs.core import Registry, get_registry
 from repro.resilience import DEFAULT_POLICY, FaultPlan, RetryPolicy
 from repro.resilience.signals import InterruptFlag, interrupt_guard
 from repro.trace.recorder import PathTrace
 
-#: Cells per unit of parallel work.  One chunk ships its trace to a
-#: worker once; 8 cells ≈ half a scheme's delay column, small enough to
-#: spread one benchmark across workers, large enough to amortize the
-#: trace transfer.
+#: Historical fixed chunk size, kept as the reference point the
+#: autotuner is benchmarked against.  ``run_sweep`` now defaults to
+#: ``chunk_size=None`` — per-benchmark autotuning via
+#: :func:`~repro.experiments.engine.planner.autotune_chunk_size` —
+#: because with the zero-copy data plane a batch no longer ships its
+#: trace, so chunking is purely a scheduling-granularity knob.
 DEFAULT_CHUNK_SIZE = 8
 
 #: Longest the scheduler blocks in one ``wait`` call; bounds how stale
@@ -93,18 +101,19 @@ _MAX_TICK_SECONDS = 0.5
 
 
 def _run_cells(
-    trace: PathTrace,
+    context: ReplayContext,
     cells: list[tuple[str, int]],
     observe: bool = False,
     faults: FaultPlan | None = None,
     batch_index: int = 0,
     attempt: int = 0,
 ) -> tuple[list[SweepPoint], dict | None]:
-    """Replay a batch of (scheme, τ) cells on one trace.
+    """Replay a batch of (scheme, τ) cells on one replay context.
 
-    Top-level so the process pool can pickle it.  The hot set is
-    recomputed per batch — it is a deterministic bincount, orders of
-    magnitude cheaper than one replay.
+    The context memoizes the per-trace precomputations (hot set,
+    occurrence index): the first batch of a trace pays for them, every
+    later batch in the same process reuses them — the ``hot_set`` timer
+    records the true marginal cost, which is ~0 on reuse.
 
     With ``observe`` the batch measures itself into a throwaway local
     registry and returns its snapshot alongside the points (relative
@@ -119,8 +128,9 @@ def _run_cells(
     if faults is not None:
         faults.before(batch_index, attempt)
     obs = Registry() if observe else get_registry(None)
+    trace = context.trace
     with obs.span("hot_set"):
-        hot = hot_path_set(trace)
+        hot = context.hot
     points = []
     for scheme, delay in cells:
         with obs.span("replay"):
@@ -132,6 +142,41 @@ def _run_cells(
     if faults is not None:
         points = faults.after(batch_index, attempt, points)
     return points, (obs.snapshot() if observe else None)
+
+
+def _run_cells_by_digest(
+    digest: str,
+    cells: list[tuple[str, int]],
+    observe: bool = False,
+    faults: FaultPlan | None = None,
+    batch_index: int = 0,
+    attempt: int = 0,
+) -> tuple[list[SweepPoint], dict | None]:
+    """Pool-worker entry point: resolve ``digest`` locally, then replay.
+
+    Top-level so the process pool can pickle it.  This is the zero-copy
+    data plane's receive side: the batch arrives carrying a digest and a
+    cell list (a few hundred bytes), and the worker's resident store
+    (:func:`repro.experiments.engine.dataplane.worker_context`) supplies
+    the trace — attached from shared memory and restored on the first
+    batch of each digest, memoized for every batch after.
+
+    The one-time attach/restore cost is spliced into the batch's
+    snapshot (``context_install`` timer, ``contexts_installed``
+    counter), so the parent's registry accounts for the data plane's
+    real per-worker overhead.
+    """
+    context, install_seconds = worker_context(digest)
+    points, snapshot = _run_cells(
+        context, cells, observe, faults, batch_index, attempt
+    )
+    if snapshot is not None and install_seconds is not None:
+        snapshot.setdefault("counters", {})["contexts_installed"] = 1
+        snapshot.setdefault("timers", {})["context_install"] = {
+            "total_seconds": install_seconds,
+            "count": 1,
+        }
+    return points, snapshot
 
 
 def _retryable(error: BaseException) -> bool:
@@ -186,6 +231,8 @@ class _SweepRunner:
         results: list[SweepPoint | None],
         total_cells: int,
         flag: InterruptFlag,
+        digests: dict[str, str] | None = None,
+        dataplane: TraceDataPlane | None = None,
     ):
         self.traces = traces
         self.runs = [_BatchRun(batch, order) for order, batch in enumerate(batches)]
@@ -198,6 +245,15 @@ class _SweepRunner:
         self.results = results
         self.total_cells = total_cells
         self.flag = flag
+        self.digests = digests or {}
+        self.dataplane = dataplane
+        #: Benchmark → memoized in-process replay context; serial
+        #: execution (including fallback-from-pool) computes each
+        #: trace's hot set and occurrence index once, not per batch.
+        self.contexts: dict[str, ReplayContext] = {}
+        #: Futures abandoned by a timeout whose worker is still burning
+        #: a pool slot on the stale attempt.
+        self.zombies: set[Future] = set()
 
     # -- completion ----------------------------------------------------
     def _validate(self, run: _BatchRun, payload) -> tuple[list, dict | None]:
@@ -291,16 +347,24 @@ class _SweepRunner:
             self._interrupt()
 
     # -- serial execution ----------------------------------------------
+    def _context(self, benchmark: str) -> ReplayContext:
+        """The parent-process replay context for ``benchmark``."""
+        context = self.contexts.get(benchmark)
+        if context is None:
+            context = ReplayContext(self.traces[benchmark])
+            self.contexts[benchmark] = context
+        return context
+
     def _run_serial(self, runs: list[_BatchRun]) -> None:
         """In-process execution with retries (timeouts cannot preempt)."""
         for run in sorted(runs, key=lambda r: r.order):
-            trace = self.traces[run.benchmark]
+            context = self._context(run.benchmark)
             cells = [task.cell for task in run.batch]
             while True:
                 self._check_interrupt()
                 try:
                     payload = _run_cells(
-                        trace,
+                        context,
                         cells,
                         self.observe,
                         self.faults,
@@ -318,14 +382,28 @@ class _SweepRunner:
                     time.sleep(max(run.not_before - time.monotonic(), 0.0))
 
     # -- pooled execution ----------------------------------------------
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        """A pool whose every worker gets the archive handles installed.
+
+        Used for the initial pool and for every respawn after a pool
+        death: the initializer re-runs in each fresh worker process, so
+        a respawned pool is as trace-resident as the first one.
+        """
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=install_worker_handles,
+            initargs=(self.dataplane.handles(),),
+        )
+
     def _submit(
         self, pool: ProcessPoolExecutor, run: _BatchRun
     ) -> Future:
-        trace = self.traces[run.benchmark]
+        # The batch carries a digest, not a trace: the worker's resident
+        # store supplies the data (see _run_cells_by_digest).
         cells = [task.cell for task in run.batch]
         future = pool.submit(
-            _run_cells,
-            trace,
+            _run_cells_by_digest,
+            self.digests[run.benchmark],
             cells,
             self.observe,
             self.faults,
@@ -337,6 +415,19 @@ class _SweepRunner:
         else:
             run.deadline = float("inf")
         return future
+
+    def _reap_zombies(self) -> None:
+        """Drop abandoned futures whose stale attempt finally finished."""
+        if not self.zombies:
+            return
+        finished = [future for future in self.zombies if future.done()]
+        if finished:
+            self.zombies.difference_update(finished)
+            self.engine.gauge("zombie_slots").set(len(self.zombies))
+
+    def _clear_zombies(self) -> None:
+        self.zombies.clear()
+        self.engine.gauge("zombie_slots").set(0)
 
     def _tick(
         self, inflight: dict[Future, _BatchRun], waiting: list[_BatchRun]
@@ -367,6 +458,9 @@ class _SweepRunner:
         orphans = sorted(inflight.values(), key=lambda r: r.order)
         inflight.clear()
         ready.extendleft(reversed(orphans))
+        # The zombies died with the pool; the respawn starts with every
+        # slot free.
+        self._clear_zombies()
         return restarts
 
     def _run_pooled(self, workers: int) -> None:
@@ -375,10 +469,11 @@ class _SweepRunner:
         waiting: list[_BatchRun] = []
         inflight: dict[Future, _BatchRun] = {}
         restarts = 0
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = self._make_pool(workers)
         try:
             while ready or waiting or inflight:
                 self._check_interrupt()
+                self._reap_zombies()
                 now = time.monotonic()
                 due = [run for run in waiting if run.not_before <= now]
                 if due:
@@ -386,8 +481,13 @@ class _SweepRunner:
                         run for run in waiting if run.not_before > now
                     ]
                     ready.extend(sorted(due, key=lambda r: r.order))
+                # Zombie workers still occupy pool slots: shrink the
+                # submit budget so live batches are not queued behind
+                # them (but never to zero — the pool's own queue keeps
+                # the sweep moving even fully zombified).
+                budget = max(1, workers - len(self.zombies))
                 broken: BrokenExecutor | None = None
-                while ready and len(inflight) < workers and broken is None:
+                while ready and len(inflight) < budget and broken is None:
                     run = ready.popleft()
                     try:
                         inflight[self._submit(pool, run)] = run
@@ -423,9 +523,16 @@ class _SweepRunner:
                     for future, run in list(inflight.items()):
                         if run.deadline <= now:
                             # Abandon the future; a late result from it
-                            # is never read.  The zombie worker slot
-                            # frees itself when the attempt finishes.
+                            # is never read.  Until the stale attempt
+                            # finishes, its worker is a zombie burning a
+                            # pool slot — tracked so the submit budget
+                            # shrinks accordingly.
                             del inflight[future]
+                            self.zombies.add(future)
+                            self.engine.counter("zombies").inc()
+                            self.engine.gauge("zombie_slots").set(
+                                len(self.zombies)
+                            )
                             self.engine.counter("timeouts").inc()
                             self._retry_or_raise(
                                 run, None, waiting, timed_out=True
@@ -452,9 +559,10 @@ class _SweepRunner:
                         waiting = []
                         self._run_serial(remaining)
                         return
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool = self._make_pool(workers)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+            self._clear_zombies()
 
     def run(self, workers: int) -> None:
         if workers > 0:
@@ -469,7 +577,7 @@ def run_sweep(
     delays: tuple[int, ...] = DEFAULT_DELAYS,
     workers: int = 0,
     cache: SweepCache | None = None,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     obs: Registry | None = None,
     resilience: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
@@ -489,7 +597,12 @@ def run_sweep(
         so an interrupted sweep resumes from everything it finished.
         Hit/miss accounting accumulates on ``cache.stats``.
     chunk_size:
-        Cells per scheduled unit of parallel work.
+        Cells per scheduled unit of parallel work.  ``None`` (the
+        default) autotunes per benchmark from the pending cell count
+        and the worker count (see
+        :func:`~repro.experiments.engine.planner.autotune_chunk_size`);
+        an explicit positive value pins the granularity.  Never affects
+        results, only scheduling.
     obs:
         Optional observability registry; engine metrics land under its
         ``sweep.`` prefix (see the module docstring).  ``None`` runs
@@ -527,16 +640,25 @@ def run_sweep(
         engine.counter("timeouts")
         engine.counter("pool_restarts")
         engine.counter("fallback_serial")
+        engine.counter("zombies")
+        engine.gauge("zombie_slots").set(0)
         engine.gauge("workers").set(workers)
         results: list[SweepPoint | None] = [None] * len(tasks)
 
-        keys: dict[int, str] = {}
-        if cache is not None:
+        # Digests address both the result cache and the data plane's
+        # shared-memory residency, so they are needed whenever either is
+        # in play.  trace_digest memoizes per trace object, so the cost
+        # is paid once even when both consumers ask.
+        digests: dict[str, str] = {}
+        if cache is not None or workers > 0:
             with engine.span("digest"):
                 digests = {
                     name: trace_digest(trace)
                     for name, trace in traces.items()
                 }
+
+        keys: dict[int, str] = {}
+        if cache is not None:
             pending = []
             for task in tasks:
                 key = cache_key(
@@ -553,45 +675,75 @@ def run_sweep(
             pending = list(tasks)
 
         if pending:
-            # One batch per benchmark when serial (one hot set per trace,
-            # like the historical loop); chunked batches when parallel so a
-            # single benchmark's cells can spread across workers.
-            batches = [
-                chunk
-                for group in group_by_benchmark(pending).values()
-                for chunk in (
-                    chunk_tasks(group, chunk_size) if workers > 0 else [group]
-                )
-            ]
+            # One batch per benchmark when serial (one replay context
+            # per trace, like the historical loop); chunked batches when
+            # parallel so a single benchmark's cells can spread across
+            # workers.  With the data plane a batch ships only a digest,
+            # so the chunk size is a pure scheduling knob — autotuned
+            # per benchmark unless pinned explicitly.
+            groups = group_by_benchmark(pending)
+            batches: list[list[SweepTask]] = []
+            if workers > 0:
+                for group in groups.values():
+                    size = (
+                        chunk_size
+                        if chunk_size is not None
+                        else autotune_chunk_size(len(group), workers)
+                    )
+                    engine.gauge("chunk_size").set(size)
+                    batches.extend(chunk_tasks(group, size))
+            else:
+                batches = list(groups.values())
             engine.counter("batches").inc(len(batches))
-            with interrupt_guard() as flag:
-                runner = _SweepRunner(
-                    traces=traces,
-                    batches=batches,
-                    policy=policy,
-                    faults=faults,
-                    engine=engine,
-                    observe=observe,
-                    cache=cache,
-                    keys=keys,
-                    results=results,
-                    total_cells=len(tasks),
-                    flag=flag,
-                )
-                try:
-                    runner.run(workers)
-                except KeyboardInterrupt:
-                    # Signal arrived where the guard could not trap it
-                    # (non-main thread, or the operator's second Ctrl-C).
-                    engine.counter("interrupted").inc()
-                    partial = [
-                        point for point in results if point is not None
-                    ]
-                    raise SweepInterrupted(
-                        partial=partial,
-                        completed=len(partial),
-                        total=len(tasks),
-                        signal_name=flag.signal_name,
-                    ) from None
+
+            dataplane: TraceDataPlane | None = None
+            try:
+                if workers > 0:
+                    # Publish each pending benchmark's trace exactly
+                    # once; every batch then references it by digest.
+                    dataplane = TraceDataPlane(
+                        obs=engine.child("dataplane")
+                    )
+                    with engine.span("publish"):
+                        for name in groups:
+                            dataplane.publish(digests[name], traces[name])
+                with interrupt_guard() as flag:
+                    runner = _SweepRunner(
+                        traces=traces,
+                        batches=batches,
+                        policy=policy,
+                        faults=faults,
+                        engine=engine,
+                        observe=observe,
+                        cache=cache,
+                        keys=keys,
+                        results=results,
+                        total_cells=len(tasks),
+                        flag=flag,
+                        digests=digests,
+                        dataplane=dataplane,
+                    )
+                    try:
+                        runner.run(workers)
+                    except KeyboardInterrupt:
+                        # Signal arrived where the guard could not trap
+                        # it (non-main thread, or the operator's second
+                        # Ctrl-C).
+                        engine.counter("interrupted").inc()
+                        partial = [
+                            point for point in results if point is not None
+                        ]
+                        raise SweepInterrupted(
+                            partial=partial,
+                            completed=len(partial),
+                            total=len(tasks),
+                            signal_name=flag.signal_name,
+                        ) from None
+            finally:
+                # Releases every shared-memory segment on *every* exit:
+                # normal completion, retry exhaustion, serial fallback,
+                # pool death, SweepInterrupted and raw KeyboardInterrupt.
+                if dataplane is not None:
+                    dataplane.close()
 
     return [point for point in results if point is not None]

@@ -96,7 +96,7 @@ def chunk_tasks(
     """Split one benchmark's task list into scheduling chunks.
 
     Smaller chunks spread one benchmark's cells over several workers;
-    larger chunks amortize trace transfer.  Order within and across
+    larger chunks amortize per-batch dispatch.  Order within and across
     chunks stays canonical.
     """
     if chunk_size < 1:
@@ -105,3 +105,33 @@ def chunk_tasks(
         list(tasks[start : start + chunk_size])
         for start in range(0, len(tasks), chunk_size)
     ]
+
+
+#: Ceiling on the autotuned chunk size.  With the zero-copy data plane a
+#: batch ships only a digest, so a large chunk saves almost nothing on
+#: transfer but costs scheduling flexibility (and retry granularity — a
+#: faulted batch re-replays its whole chunk).
+AUTOTUNE_MAX_CHUNK = 32
+
+#: Batches the autotuner aims to give each worker per benchmark, so the
+#: pool stays balanced when batch runtimes differ (large-τ cells predict
+#: fewer paths and finish faster than small-τ ones).
+AUTOTUNE_WAVES_PER_WORKER = 2
+
+
+def autotune_chunk_size(num_cells: int, workers: int) -> int:
+    """Pick a chunk size for one benchmark's pending cells.
+
+    Targets :data:`AUTOTUNE_WAVES_PER_WORKER` batches per worker per
+    benchmark: enough slack for the scheduler to rebalance uneven batch
+    runtimes, without fragmenting the sweep into per-cell dispatch
+    overhead.  Shipping cost does not enter the trade-off — the data
+    plane moves a trace to a worker at most once regardless of how the
+    cells are chunked.
+    """
+    if workers < 1:
+        raise ExperimentError(f"autotune needs workers >= 1, got {workers}")
+    if num_cells < 1:
+        return 1
+    target = -(-num_cells // (workers * AUTOTUNE_WAVES_PER_WORKER))
+    return max(1, min(target, AUTOTUNE_MAX_CHUNK))

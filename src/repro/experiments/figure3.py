@@ -19,6 +19,7 @@ def build_figure3(
     flow_scale: float = 1.0,
     workers: int = 0,
     cache: SweepCache | None = None,
+    chunk_size: int | None = None,
     obs: Registry | None = None,
     resilience: RetryPolicy | None = None,
 ) -> FigureCurves:
@@ -32,6 +33,7 @@ def build_figure3(
         flow_scale=flow_scale,
         workers=workers,
         cache=cache,
+        chunk_size=chunk_size,
         obs=obs,
         resilience=resilience,
     )

@@ -36,6 +36,7 @@ from repro.resilience import RetryPolicy
 def _run_table1(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -46,6 +47,7 @@ def _run_table1(
 def _run_table2(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -56,6 +58,7 @@ def _run_table2(
 def _run_figure2(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -65,6 +68,7 @@ def _run_figure2(
             flow_scale=flow_scale,
             workers=workers,
             cache=cache,
+            chunk_size=chunk_size,
             obs=obs,
             resilience=resilience,
         )
@@ -74,6 +78,7 @@ def _run_figure2(
 def _run_figure3(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -83,6 +88,7 @@ def _run_figure3(
             flow_scale=flow_scale,
             workers=workers,
             cache=cache,
+            chunk_size=chunk_size,
             obs=obs,
             resilience=resilience,
         )
@@ -92,6 +98,7 @@ def _run_figure3(
 def _run_figure4(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -102,6 +109,7 @@ def _run_figure4(
 def _run_figure5(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -117,6 +125,7 @@ def _run_figure5(
 def _run_claims(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -125,6 +134,7 @@ def _run_claims(
         flow_scale=flow_scale,
         workers=workers,
         cache=cache,
+        chunk_size=chunk_size,
         obs=obs,
         resilience=resilience,
     )
@@ -134,6 +144,7 @@ def _run_claims(
 def _run_phases(
     flow_scale: float,
     workers: int,
+    chunk_size: int | None,
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
@@ -145,7 +156,14 @@ def _run_phases(
 EXPERIMENTS: dict[
     str,
     Callable[
-        [float, int, SweepCache | None, Registry | None, RetryPolicy | None],
+        [
+            float,
+            int,
+            int | None,
+            SweepCache | None,
+            Registry | None,
+            RetryPolicy | None,
+        ],
         str,
     ],
 ] = {
@@ -170,15 +188,16 @@ def run_experiment(
     name: str,
     flow_scale: float = 1.0,
     workers: int = 0,
+    chunk_size: int | None = None,
     cache: SweepCache | None = None,
     obs: Registry | None = None,
     resilience: RetryPolicy | None = None,
 ) -> str:
     """Regenerate one experiment and return its text rendering.
 
-    ``workers``, ``cache``, ``obs`` and ``resilience`` reach the sweep
-    engine for the experiments in :data:`SWEEP_EXPERIMENTS`; the others
-    ignore them.
+    ``workers``, ``chunk_size``, ``cache``, ``obs`` and ``resilience``
+    reach the sweep engine for the experiments in
+    :data:`SWEEP_EXPERIMENTS`; the others ignore them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -187,4 +206,4 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
-    return runner(flow_scale, workers, cache, obs, resilience)
+    return runner(flow_scale, workers, chunk_size, cache, obs, resilience)

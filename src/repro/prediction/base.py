@@ -135,6 +135,11 @@ def occurrence_index_arrays(
     ``i``'s first occurrence; ``order[starts[i]:starts[i+1]]`` lists the
     occurrence indices of path ``i`` in execution order.  ``starts`` has
     ``num_paths + 1`` entries.
+
+    When grouping a :class:`~repro.trace.recorder.PathTrace`'s own
+    occurrence array, prefer :meth:`PathTrace.occurrence_index`, which
+    returns the identical pair but caches it on the trace so every
+    predictor replaying the same trace shares one argsort.
     """
     order = np.argsort(path_ids, kind="stable")
     sorted_ids = path_ids[order]

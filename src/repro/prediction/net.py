@@ -31,11 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.prediction.base import (
-    OnlinePredictor,
-    PredictionOutcome,
-    occurrence_index_arrays,
-)
+from repro.prediction.base import OnlinePredictor, PredictionOutcome
 from repro.trace.recorder import PathTrace
 
 
@@ -177,9 +173,7 @@ class NETPredictor(OnlinePredictor):
         self, trace: PathTrace, hot_time: dict[int, int]
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """One prediction per head: the tail executing at hot-time."""
-        order, starts = occurrence_index_arrays(
-            trace.path_ids, trace.num_paths
-        )
+        order, starts = trace.occurrence_index()
         predicted: list[int] = []
         times: list[int] = []
         captured: list[int] = []

@@ -15,11 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.prediction.base import (
-    OnlinePredictor,
-    PredictionOutcome,
-    occurrence_index_arrays,
-)
+from repro.prediction.base import OnlinePredictor, PredictionOutcome
 from repro.trace.recorder import PathTrace
 
 
@@ -39,9 +35,8 @@ class PathProfilePredictor(OnlinePredictor):
         tau = self.delay
         predicted = np.flatnonzero(freqs > tau)
 
-        order, starts = occurrence_index_arrays(
-            trace.path_ids, trace.num_paths
-        )
+        # Cached on the trace: one argsort per trace, not one per cell.
+        order, starts = trace.occurrence_index()
         # The prediction moment is the (τ+1)-th occurrence of the path.
         times = order[starts[predicted] + tau]
         captured = freqs[predicted] - tau

@@ -21,6 +21,53 @@ from repro.trace.extractor import PathExtractor
 from repro.trace.path import PathTable
 
 
+#: Cache keys of the per-path static attribute columns, in the order
+#: the zero-copy trace archive serializes them (see
+#: :meth:`PathTrace.static_columns` and
+#: :mod:`repro.experiments.engine.dataplane`).
+STATIC_COLUMN_KEYS = (
+    "start_uids",
+    "instr",
+    "cond",
+    "indirect",
+    "blocks",
+    "ends_backward",
+)
+
+
+class ColumnTable:
+    """Table stand-in for a trace restored from flat attribute columns.
+
+    A column-restored trace (see :meth:`PathTrace.from_columns`) knows
+    every *numeric* per-path attribute but carries no :class:`Path`
+    objects — the replay pipeline (predictors, hot sets, quality
+    metrics) only ever consumes the columns.  Anything that genuinely
+    needs path structure (signatures, block lists, digests) must use
+    the original trace; asking this table for it fails loudly instead
+    of silently yielding wrong data.
+    """
+
+    __slots__ = ("_num_paths",)
+
+    def __init__(self, num_paths: int):
+        self._num_paths = int(num_paths)
+
+    def __len__(self) -> int:
+        return self._num_paths
+
+    def __iter__(self):
+        raise TraceError(
+            "column-restored trace carries no Path objects; use the "
+            "original trace for path-structure queries"
+        )
+
+    def path(self, path_id: int) -> None:
+        raise TraceError(
+            f"column-restored trace cannot resolve path {path_id}; it "
+            "carries attribute columns only"
+        )
+
+
 class PathTrace:
     """A recorded execution as a sequence of path occurrences.
 
@@ -52,6 +99,27 @@ class PathTrace:
         ):
             raise TraceError("path_ids reference paths outside the table")
         self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the derived-array cache.
+
+        Every cached array is a pure function of the table and the
+        occurrence sequence, so a receiver can always rebuild it.
+        Shipping the cache would silently bloat every process-pool
+        payload by whatever happened to be computed in the parent
+        (freqs, occurrence index, …) — for a warm trace, several times
+        the trace itself.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache = {}
 
     # ------------------------------------------------------------------
     # Sizes
@@ -149,6 +217,83 @@ class PathTrace:
         """
         heads = self.head_sequence()[self.backward_arrival_mask()]
         return set(int(uid) for uid in np.unique(heads))
+
+    def occurrence_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Occurrence indices grouped by path id (cached).
+
+        Returns ``(order, starts)`` exactly as
+        :func:`repro.prediction.base.occurrence_index_arrays` does:
+        ``order`` is a stable argsort of :attr:`path_ids` and
+        ``order[starts[i]:starts[i+1]]`` lists path ``i``'s occurrence
+        indices in execution order.  The grouping is a pure function of
+        the trace, so it is computed once and shared by every predictor
+        replaying this trace — the sweep engine's per-cell argsort used
+        to be one of its hottest redundant computations.
+        """
+        if "occ_order" not in self._cache:
+            order = np.argsort(self.path_ids, kind="stable")
+            starts = np.searchsorted(
+                self.path_ids[order],
+                np.arange(len(self.table) + 1),
+                side="left",
+            )
+            self._cache["occ_order"] = order
+            self._cache["occ_starts"] = starts
+        return self._cache["occ_order"], self._cache["occ_starts"]
+
+    # ------------------------------------------------------------------
+    # Columnar form (the zero-copy data plane's exchange format)
+    # ------------------------------------------------------------------
+    def static_columns(self) -> dict[str, np.ndarray]:
+        """All per-path static attribute arrays, keyed by cache key.
+
+        The keys are :data:`STATIC_COLUMN_KEYS`; together with
+        :attr:`path_ids` and :attr:`name` these columns are everything
+        the replay pipeline reads, which is what makes the flat
+        :class:`~repro.experiments.engine.dataplane.TraceArchive`
+        serialization complete for sweep purposes.
+        """
+        return {
+            "start_uids": self.start_uids(),
+            "instr": self.instructions_per_path(),
+            "cond": self.cond_branches_per_path(),
+            "indirect": self.indirect_branches_per_path(),
+            "blocks": self.blocks_per_path(),
+            "ends_backward": self.ends_backward_per_path(),
+        }
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        num_paths: int,
+        path_ids: np.ndarray,
+        columns: dict[str, np.ndarray],
+    ) -> "PathTrace":
+        """Rebuild a replay-equivalent trace from flat attribute columns.
+
+        The result has a :class:`ColumnTable` instead of a real
+        :class:`PathTable`: every numeric accessor (frequencies, head
+        sequences, occurrence index, per-path sizes) returns exactly
+        what the original trace would, while structural queries fail
+        loudly.  Used by the sweep data plane to reconstruct traces in
+        pool workers without ever pickling ``Path`` objects.
+        """
+        missing = [key for key in STATIC_COLUMN_KEYS if key not in columns]
+        if missing:
+            raise TraceError(
+                f"trace columns incomplete: missing {', '.join(missing)}"
+            )
+        trace = cls(ColumnTable(num_paths), path_ids, name=name)
+        for key in STATIC_COLUMN_KEYS:
+            column = columns[key]
+            if len(column) != num_paths:
+                raise TraceError(
+                    f"column {key!r} has {len(column)} entries for "
+                    f"{num_paths} paths"
+                )
+            trace._cache[key] = column
+        return trace
 
     # ------------------------------------------------------------------
     # Utilities

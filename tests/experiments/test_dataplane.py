@@ -1,0 +1,280 @@
+"""The zero-copy sweep data plane: archives, residency, shm lifecycle.
+
+Locks down the tentpole invariants: a column-archived trace replays
+byte-identically to the original; publishing is idempotent and a batch
+reference is digest-sized; every shared-memory segment a sweep creates
+is released on every exit path (clean completion, retry exhaustion,
+serial fallback, interrupt); and the copy fallback produces the same
+results as the zero-copy path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, SweepInterrupted, WorkerCrashError
+from repro.experiments import run_sweep
+from repro.experiments.engine import dataplane as dataplane_module
+from repro.experiments.engine import executor as executor_module
+from repro.experiments.engine.cache import trace_digest
+from repro.experiments.engine.dataplane import (
+    ArchiveHandle,
+    ReplayContext,
+    TraceArchive,
+    TraceDataPlane,
+    install_worker_handles,
+    shared_memory_available,
+    worker_context,
+)
+from repro.metrics.hotpaths import hot_path_set
+from repro.resilience import RetryPolicy, crash_on, plan
+
+DELAYS = (10, 1_000)
+FAST = {"backoff_base": 0.001, "backoff_cap": 0.01}
+
+
+@pytest.fixture()
+def pair(all_small_traces):
+    return {
+        name: all_small_traces[name] for name in ("compress", "deltablue")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _reset_worker_store():
+    """Each test starts and ends with an empty in-process trace store."""
+    install_worker_handles({})
+    yield
+    install_worker_handles({})
+
+
+# ----------------------------------------------------------------------
+# TraceArchive
+# ----------------------------------------------------------------------
+def test_archive_round_trips_through_bytes(all_small_traces):
+    trace = all_small_traces["compress"]
+    blob = TraceArchive.from_trace(trace).to_bytes()
+    archive = TraceArchive.from_buffer(blob)
+    assert archive.name == trace.name
+    assert archive.num_paths == trace.num_paths
+    assert np.array_equal(archive.path_ids, trace.path_ids)
+    for key, column in trace.static_columns().items():
+        assert np.array_equal(archive.columns[key], column)
+        assert archive.columns[key].dtype == column.dtype
+
+
+def test_archive_views_are_zero_copy_and_read_only(all_small_traces):
+    trace = all_small_traces["compress"]
+    blob = TraceArchive.from_trace(trace).to_bytes()
+    archive = TraceArchive.from_buffer(blob)
+    assert not archive.path_ids.flags.writeable
+    assert not archive.path_ids.flags.owndata  # a view into the buffer
+    with pytest.raises(ValueError):
+        archive.path_ids[0] = 99
+
+
+def test_archive_rejects_foreign_buffers():
+    with pytest.raises(ExperimentError, match="not a trace archive"):
+        TraceArchive.from_buffer(b"\x00" * 64)
+
+
+def test_restored_trace_replays_byte_identically(all_small_traces):
+    trace = all_small_traces["compress"]
+    blob = TraceArchive.from_trace(trace).to_bytes()
+    restored = TraceArchive.from_buffer(blob).restore()
+    original_points = run_sweep({trace.name: trace}, delays=DELAYS)
+    restored_points = run_sweep({restored.name: restored}, delays=DELAYS)
+    assert restored_points == original_points
+    assert np.array_equal(
+        hot_path_set(restored).hot_mask, hot_path_set(trace).hot_mask
+    )
+
+
+# ----------------------------------------------------------------------
+# TraceDataPlane (parent side)
+# ----------------------------------------------------------------------
+def test_publish_is_idempotent_and_handles_are_small(all_small_traces):
+    trace = all_small_traces["compress"]
+    digest = trace_digest(trace)
+    with TraceDataPlane() as plane:
+        first = plane.publish(digest, trace)
+        again = plane.publish(digest, trace)
+        assert again is first
+        assert plane.handles() == {digest: first}
+        if first.shm_name is not None:
+            # Zero-copy mode: the handle is a name, not the data.
+            assert first.payload is None
+            assert first.size > 1_000  # the archive itself is large...
+            import pickle
+
+            assert len(pickle.dumps(first)) < 200  # ...the handle is not
+
+
+def test_close_unlinks_segments_and_is_idempotent(all_small_traces):
+    if not shared_memory_available():
+        pytest.skip("no shared memory on this platform")
+    from multiprocessing import shared_memory
+
+    trace = all_small_traces["compress"]
+    plane = TraceDataPlane()
+    handle = plane.publish(trace_digest(trace), trace)
+    assert handle.shm_name is not None
+    # Attachable while the plane is open...
+    probe = shared_memory.SharedMemory(name=handle.shm_name)
+    probe.close()
+    plane.close()
+    plane.close()  # idempotent
+    # ...gone after close.
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=handle.shm_name)
+    with pytest.raises(ExperimentError, match="closed"):
+        plane.publish("deadbeef", trace)
+
+
+def test_forced_fallback_carries_payload_inline(all_small_traces):
+    trace = all_small_traces["compress"]
+    with TraceDataPlane(use_shm=False) as plane:
+        handle = plane.publish(trace_digest(trace), trace)
+    assert handle.shm_name is None
+    assert handle.payload is not None
+    restored = TraceArchive.from_buffer(handle.payload).restore()
+    assert np.array_equal(restored.freqs(), trace.freqs())
+
+
+# ----------------------------------------------------------------------
+# Worker-side store
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("use_shm", [None, False])
+def test_worker_context_attaches_once_then_memoizes(
+    all_small_traces, use_shm
+):
+    trace = all_small_traces["compress"]
+    digest = trace_digest(trace)
+    with TraceDataPlane(use_shm=use_shm) as plane:
+        plane.publish(digest, trace)
+        install_worker_handles(plane.handles())
+        context, install_seconds = worker_context(digest)
+        assert isinstance(context, ReplayContext)
+        assert install_seconds is not None and install_seconds >= 0
+        assert np.array_equal(context.trace.freqs(), trace.freqs())
+        assert np.array_equal(
+            context.hot.hot_mask, hot_path_set(trace).hot_mask
+        )
+        again, reinstall = worker_context(digest)
+        assert again is context
+        assert reinstall is None
+        # Clean up views before the plane unlinks under them.
+        install_worker_handles({})
+
+
+def test_worker_context_without_handle_fails_loudly():
+    install_worker_handles({})
+    with pytest.raises(ExperimentError, match="no trace archive"):
+        worker_context("0" * 64)
+
+
+def test_handle_pickle_round_trip():
+    import pickle
+
+    handle = ArchiveHandle("ab" * 32, "psm_test", 1234, payload=None)
+    clone = pickle.loads(pickle.dumps(handle))
+    assert (clone.digest, clone.shm_name, clone.size, clone.payload) == (
+        handle.digest,
+        handle.shm_name,
+        handle.size,
+        handle.payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# End-to-end: sweeps through the data plane
+# ----------------------------------------------------------------------
+class _RecordingPlane(TraceDataPlane):
+    """A data plane that remembers every segment name it ever created."""
+
+    created: list[str] = []
+
+    def publish(self, digest, trace):
+        handle = super().publish(digest, trace)
+        if handle.shm_name is not None:
+            type(self).created.append(handle.shm_name)
+        return handle
+
+
+@pytest.fixture()
+def recording_plane(monkeypatch):
+    _RecordingPlane.created = []
+    monkeypatch.setattr(executor_module, "TraceDataPlane", _RecordingPlane)
+    return _RecordingPlane
+
+
+def _assert_all_unlinked(names):
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_pooled_sweep_releases_every_segment(pair, recording_plane):
+    serial = run_sweep(pair, delays=DELAYS)
+    pooled = run_sweep(pair, delays=DELAYS, workers=2)
+    assert pooled == serial
+    if shared_memory_available():
+        assert len(recording_plane.created) == len(pair)
+    _assert_all_unlinked(recording_plane.created)
+
+
+def test_failed_sweep_releases_every_segment(pair, recording_plane):
+    with pytest.raises(WorkerCrashError):
+        run_sweep(
+            pair,
+            delays=DELAYS,
+            workers=2,
+            resilience=RetryPolicy(max_retries=0, **FAST),
+            faults=plan(crash_on(batch=0, times=None)),
+        )
+    _assert_all_unlinked(recording_plane.created)
+
+
+def test_keyboard_interrupt_releases_every_segment(
+    pair, recording_plane, monkeypatch
+):
+    """Ctrl-C lands after the segments exist: the structured interrupt
+    must still unlink them all."""
+
+    def ctrl_c(self, workers):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(executor_module._SweepRunner, "run", ctrl_c)
+    with pytest.raises(SweepInterrupted):
+        run_sweep(pair, delays=DELAYS, workers=2)
+    _assert_all_unlinked(recording_plane.created)
+
+
+def test_fallback_serial_releases_every_segment(pair, recording_plane):
+    from repro.resilience import break_pool_on
+
+    serial = run_sweep(pair, delays=DELAYS)
+    degraded = run_sweep(
+        pair,
+        delays=DELAYS,
+        workers=2,
+        resilience=RetryPolicy(max_retries=5, max_pool_restarts=0, **FAST),
+        faults=plan(break_pool_on(batch=0, times=1)),
+    )
+    assert degraded == serial
+    _assert_all_unlinked(recording_plane.created)
+
+
+def test_pooled_sweep_without_shared_memory_is_identical(
+    pair, monkeypatch
+):
+    """The copy fallback is a degraded transport, not degraded results."""
+    serial = run_sweep(pair, delays=DELAYS)
+    monkeypatch.setattr(
+        dataplane_module, "shared_memory_available", lambda: False
+    )
+    fallback = run_sweep(pair, delays=DELAYS, workers=2)
+    assert fallback == serial

@@ -41,12 +41,19 @@ def test_worker_metrics_merge_to_serial_totals(all_small_traces):
     assert run_sweep(traces, delays=DELAYS, obs=serial) == run_sweep(
         traces, delays=DELAYS, workers=2, obs=parallel
     )
-    serial_counts = serial.snapshot()["counters"]
-    parallel_counts = parallel.snapshot()["counters"]
-    # Batching differs by worker count; all work counters must not.
-    serial_counts.pop("sweep.batches")
-    parallel_counts.pop("sweep.batches")
-    assert parallel_counts == serial_counts
+    # Scheduling and transport accounting differs by mode (batch count,
+    # data-plane publishes, per-worker context installs); the *work*
+    # counters — replays, predictions, captured flow — must not.
+    def work_counters(registry: Registry) -> dict:
+        transport = ("sweep.batches", "sweep.contexts_installed")
+        return {
+            name: value
+            for name, value in registry.snapshot()["counters"].items()
+            if name not in transport
+            and not name.startswith("sweep.dataplane.")
+        }
+
+    assert work_counters(parallel) == work_counters(serial)
 
 
 def test_observed_sweep_is_byte_identical_and_counts_cache_traffic(

@@ -152,6 +152,38 @@ def test_hung_batch_trips_timeout_and_is_retried(trio, baseline):
     assert counters["sweep.retries"] >= 1
 
 
+def test_timed_out_batches_are_counted_as_zombies(trio, baseline):
+    """An abandoned attempt keeps burning a pool slot until it finishes;
+    the engine must account for it and drain the gauge by sweep end."""
+    solo = {"compress": trio["compress"]}
+    registry = Registry()
+    points = run_sweep(
+        solo,
+        delays=DELAYS,
+        workers=2,
+        resilience=RetryPolicy(max_retries=2, task_timeout=0.5, **FAST),
+        faults=plan(hang_on(batch=0, seconds=3.0, times=1)),
+        obs=registry,
+    )
+    assert points == run_sweep(solo, delays=DELAYS)
+    snapshot = registry.snapshot()
+    # One zombie per timeout: the counter is cumulative, the gauge is
+    # the live population and must read zero once the sweep is done.
+    assert snapshot["counters"]["sweep.zombies"] >= 1
+    assert snapshot["counters"]["sweep.zombies"] == (
+        snapshot["counters"]["sweep.timeouts"]
+    )
+    assert snapshot["gauges"]["sweep.zombie_slots"] == 0
+
+
+def test_clean_sweep_reports_zero_zombies(trio):
+    registry = Registry()
+    run_sweep(trio, delays=DELAYS, workers=2, obs=registry)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["sweep.zombies"] == 0
+    assert snapshot["gauges"]["sweep.zombie_slots"] == 0
+
+
 def test_timeouts_exhaust_to_batch_timeout_error(trio):
     with pytest.raises(BatchTimeoutError) as excinfo:
         run_sweep(

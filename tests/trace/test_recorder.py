@@ -1,4 +1,6 @@
-"""PathTrace containers: arrays, masks, slicing."""
+"""PathTrace containers: arrays, masks, slicing, pickling, columns."""
+
+import pickle
 
 import numpy as np
 import pytest
@@ -11,7 +13,15 @@ from repro.trace import (
     ScriptedOracle,
     record_path_trace,
 )
+from repro.trace.recorder import STATIC_COLUMN_KEYS
 from tests.conftest import make_path
+
+
+def _two_path_trace() -> PathTrace:
+    table = PathTable()
+    a = make_path(table, 0, "1", (0, 1, 2), ends_backward=True)
+    b = make_path(table, 40, "0", (10, 11))
+    return PathTrace(table, [a, b, a, a, b], name="two-path")
 
 
 def test_record_matches_extraction(fig1_program):
@@ -95,3 +105,102 @@ def test_summarize(fig1_program):
     assert summary.num_paths == 2
     assert summary.num_unique_heads == 1
     assert "fig1" in summary.render()
+
+
+def test_pickle_excludes_derived_cache():
+    """A cache-warmed trace pickles to the same bytes as a cold one.
+
+    Regression for the pool-payload bloat bug: warming freqs and the
+    occurrence index used to ship the whole derived-array cache with
+    every pickled trace.
+    """
+    cold = _two_path_trace()
+    cold_size = len(pickle.dumps(cold))
+
+    warm = _two_path_trace()
+    warm.freqs()
+    warm.occurrence_index()
+    warm.static_columns()
+    warm.backward_arrival_mask()
+    assert warm._cache  # the warm-up actually populated it
+    assert len(pickle.dumps(warm)) == cold_size
+
+    # The round-tripped trace works and re-derives everything.
+    restored = pickle.loads(pickle.dumps(warm))
+    assert restored._cache == {}
+    assert np.array_equal(restored.freqs(), warm.freqs())
+
+
+def test_occurrence_index_matches_helper_and_is_cached():
+    from repro.prediction.base import occurrence_index_arrays
+
+    trace = _two_path_trace()
+    order, starts = trace.occurrence_index()
+    ref_order, ref_starts = occurrence_index_arrays(
+        trace.path_ids, trace.num_paths
+    )
+    assert np.array_equal(order, ref_order)
+    assert np.array_equal(starts, ref_starts)
+    # Cached: the same objects come back on the second call.
+    order2, starts2 = trace.occurrence_index()
+    assert order2 is order and starts2 is starts
+
+
+def test_static_columns_cover_declared_keys():
+    trace = _two_path_trace()
+    columns = trace.static_columns()
+    assert set(columns) == set(STATIC_COLUMN_KEYS)
+    for key in STATIC_COLUMN_KEYS:
+        assert len(columns[key]) == trace.num_paths
+
+
+def test_from_columns_replays_identically():
+    original = _two_path_trace()
+    restored = PathTrace.from_columns(
+        original.name,
+        original.num_paths,
+        original.path_ids,
+        original.static_columns(),
+    )
+    assert restored.name == original.name
+    assert restored.flow == original.flow
+    assert restored.num_paths == original.num_paths
+    assert np.array_equal(restored.freqs(), original.freqs())
+    assert np.array_equal(restored.head_sequence(), original.head_sequence())
+    assert np.array_equal(
+        restored.backward_arrival_mask(), original.backward_arrival_mask()
+    )
+    assert restored.dynamic_head_uids() == original.dynamic_head_uids()
+    ro, rs = restored.occurrence_index()
+    oo, os_ = original.occurrence_index()
+    assert np.array_equal(ro, oo) and np.array_equal(rs, os_)
+
+
+def test_from_columns_validates_completeness_and_shape():
+    original = _two_path_trace()
+    columns = original.static_columns()
+    incomplete = {k: v for k, v in columns.items() if k != "instr"}
+    with pytest.raises(TraceError, match="missing instr"):
+        PathTrace.from_columns(
+            original.name, original.num_paths, original.path_ids, incomplete
+        )
+    short = dict(columns)
+    short["blocks"] = columns["blocks"][:-1]
+    with pytest.raises(TraceError, match="blocks"):
+        PathTrace.from_columns(
+            original.name, original.num_paths, original.path_ids, short
+        )
+
+
+def test_column_table_fails_structural_queries_loudly():
+    original = _two_path_trace()
+    restored = PathTrace.from_columns(
+        original.name,
+        original.num_paths,
+        original.path_ids,
+        original.static_columns(),
+    )
+    with pytest.raises(TraceError, match="column-restored"):
+        restored.table.path(0)
+    with pytest.raises(TraceError, match="column-restored"):
+        list(restored.table)
