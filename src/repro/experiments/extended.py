@@ -10,7 +10,6 @@ harness asserts on and renders these; the CLI exposes them through
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.analysis import ShowdownResult, edge_vs_path_showdown
@@ -34,6 +33,7 @@ from repro.metrics import (
 from repro.prediction import NETPredictor
 from repro.profiling import OverheadRow, compare_schemes
 from repro.trace import CFGWalker, RandomOracle, TripCountOracle, record_path_trace
+from repro.trace.batch import EventBatch
 from repro.trace.recorder import PathTrace
 from repro.workloads import load_benchmark
 from repro.workloads.phased import load_phased
@@ -45,15 +45,21 @@ from repro.workloads.phased import load_phased
 def overhead_rows(
     seed: int = 25, trips: int = 25, max_events: int = 400_000
 ) -> tuple[list[OverheadRow], int]:
-    """Every profiler's cost figures over one generated-program run."""
+    """Every profiler's cost figures over one generated-program run.
+
+    The event stream is generated and consumed columnar-ly (batched
+    walker, batched profilers); the rows are identical to the object
+    pipeline's, which the event-pipeline benchmark asserts.
+    """
     program = generate_program(seed=seed, num_procedures=4)
     trip_counts = {}
     for name in program.procedures:
         for header in procedure_loops(program, name).headers:
             trip_counts[header] = trips
     oracle = TripCountOracle(RandomOracle(5, default_bias=0.5), trip_counts)
-    events = list(
-        itertools.islice(CFGWalker(program, oracle).walk(), max_events)
+    walker = CFGWalker(program, oracle)
+    events = EventBatch.concat(
+        list(walker.walk_batched(max_events=max_events, truncate=True))
     )
     return compare_schemes(program, events), len(events)
 

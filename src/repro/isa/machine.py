@@ -10,6 +10,7 @@ interpretation and collects NET counters for free while doing so.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
@@ -17,7 +18,19 @@ from repro.cfg.edge import EdgeKind
 from repro.errors import MachineError, MachineLimitExceeded
 from repro.isa.assembler import AssembledProgram
 from repro.isa.instructions import COND_BRANCHES, NUM_REGISTERS, Op
-from repro.trace.events import BranchEvent, halt_event
+from repro.obs.core import Registry, get_registry
+from repro.trace.batch import (
+    CODE_CALL,
+    CODE_FALLTHROUGH,
+    CODE_INDIRECT,
+    CODE_JUMP,
+    CODE_RETURN,
+    CODE_STRAIGHT,
+    CODE_TAKEN,
+    EventBatch,
+    EventBatchBuilder,
+)
+from repro.trace.events import HALT_DST, BranchEvent, halt_event
 
 #: Default data memory size in words.
 DEFAULT_MEMORY_WORDS = 1 << 16
@@ -45,8 +58,10 @@ class Machine:
     program:
         The assembled program to run.
     memory_words:
-        Size of data memory; ``memory`` parameter of :meth:`run` may
-        pre-populate a prefix of it (program input).
+        Addressable data memory size — a *cap*, not an allocation.  The
+        backing list starts empty and grows in place on demand (from
+        :meth:`load_memory` images and stores/loads during a run), so
+        tiny programs never pay for the full 64K-word image.
     """
 
     def __init__(
@@ -56,13 +71,14 @@ class Machine:
     ):
         self.program = program
         self.memory_words = memory_words
-        self.state = MachineState(memory=[0] * memory_words)
+        self.state = MachineState()
 
     # ------------------------------------------------------------------
     def load_memory(self, values: list[int], base: int = 0) -> None:
         """Copy ``values`` into memory starting at ``base``."""
         if base < 0 or base + len(values) > self.memory_words:
             raise MachineError("initial memory image does not fit")
+        self._grow_memory(base + len(values) - 1)
         self.state.memory[base : base + len(values)] = list(values)
 
     def run(self, max_steps: int = 10_000_000) -> Iterator[BranchEvent]:
@@ -149,6 +165,163 @@ class Machine:
                 yield event(next_pc, EdgeKind.STRAIGHT)
             state.pc = next_pc
 
+    def run_batched(
+        self,
+        max_steps: int = 10_000_000,
+        batch_size: int = 1 << 16,
+        obs: Registry | None = None,
+    ) -> Iterator[EventBatch]:
+        """Execute like :meth:`run`, yielding columnar event batches.
+
+        Event-for-event identical to :meth:`run` (same machine state
+        transitions, same fault behaviour), but control transfers are
+        appended to flat buffers instead of yielding one
+        :class:`BranchEvent` object each.  ``obs`` publishes the same
+        ``tracegen.*`` instruments as ``CFGWalker.walk_batched``.
+        """
+        if batch_size < 1:
+            raise MachineError("batch_size must be positive")
+        registry = get_registry(obs)
+        state = self.state
+        program = self.program
+        instructions = program.instructions
+        block_of = program.block_of
+        regs = state.registers
+        memory = state.memory
+
+        builder = EventBatchBuilder()
+        emitted = 0
+        batches = 0
+        started = time.perf_counter()
+
+        def flush() -> EventBatch:
+            nonlocal batches
+            batches += 1
+            return builder.build()
+
+        try:
+            while True:
+                if state.steps >= max_steps:
+                    raise MachineLimitExceeded(state.steps)
+                if not 0 <= state.pc < len(instructions):
+                    raise MachineError(f"pc {state.pc} outside the program")
+                instr = instructions[state.pc]
+                state.steps += 1
+                op = instr.op
+
+                if op in COND_BRANCHES:
+                    src = block_of[state.pc]
+                    if self._compare(op, regs[instr.rs], regs[instr.rt]):
+                        target = instr.target
+                        builder.append(
+                            src,
+                            block_of[target],
+                            CODE_TAKEN,
+                            target <= state.pc,
+                        )
+                        state.pc = target
+                    else:
+                        builder.append(
+                            src, block_of[state.pc + 1], CODE_FALLTHROUGH,
+                            False,
+                        )
+                        state.pc += 1
+                elif op is Op.JMP:
+                    target = instr.target
+                    builder.append(
+                        block_of[state.pc],
+                        block_of[target],
+                        CODE_JUMP,
+                        target <= state.pc,
+                    )
+                    state.pc = target
+                elif op is Op.JR:
+                    target = regs[instr.rs]
+                    self._check_leader(target, "jr")
+                    builder.append(
+                        block_of[state.pc],
+                        block_of[target],
+                        CODE_INDIRECT,
+                        target <= state.pc,
+                    )
+                    state.pc = target
+                elif op is Op.CALL:
+                    target = instr.target
+                    state.call_stack.append(state.pc + 1)
+                    builder.append(
+                        block_of[state.pc],
+                        block_of[target],
+                        CODE_CALL,
+                        target <= state.pc,
+                    )
+                    state.pc = target
+                elif op is Op.CALLR:
+                    target = regs[instr.rs]
+                    self._check_leader(target, "callr")
+                    state.call_stack.append(state.pc + 1)
+                    builder.append(
+                        block_of[state.pc],
+                        block_of[target],
+                        CODE_CALL,
+                        target <= state.pc,
+                    )
+                    state.pc = target
+                elif op is Op.RET:
+                    if not state.call_stack:
+                        builder.append(
+                            block_of[state.pc], HALT_DST, CODE_JUMP, False
+                        )
+                        emitted += 1
+                        yield flush()
+                        return
+                    target = state.call_stack.pop()
+                    builder.append(
+                        block_of[state.pc],
+                        block_of[target],
+                        CODE_RETURN,
+                        target <= state.pc,
+                    )
+                    state.pc = target
+                elif op is Op.HALT:
+                    builder.append(
+                        block_of[state.pc], HALT_DST, CODE_JUMP, False
+                    )
+                    emitted += 1
+                    yield flush()
+                    return
+                else:
+                    self._execute_straightline(instr, regs, memory)
+                    next_pc = state.pc + 1
+                    if next_pc >= len(instructions):
+                        raise MachineError(
+                            "execution ran past the last instruction"
+                        )
+                    if block_of[next_pc] != block_of[state.pc]:
+                        builder.append(
+                            block_of[state.pc],
+                            block_of[next_pc],
+                            CODE_STRAIGHT,
+                            False,
+                        )
+                    else:
+                        state.pc = next_pc
+                        continue
+                    state.pc = next_pc
+
+                emitted += 1
+                if len(builder) >= batch_size:
+                    yield flush()
+        finally:
+            if registry.enabled:
+                elapsed = time.perf_counter() - started
+                registry.counter("tracegen.events").inc(emitted)
+                registry.counter("tracegen.batches").inc(batches)
+                registry.timer("tracegen.generate").observe(elapsed)
+                if elapsed > 0:
+                    registry.gauge("tracegen.events_per_sec").set(
+                        emitted / elapsed
+                    )
+
     # ------------------------------------------------------------------
     def _check_leader(self, target: int, what: str) -> None:
         if not 0 <= target < len(self.program.instructions):
@@ -230,6 +403,18 @@ class Machine:
             raise MachineError(
                 f"memory access at {address} outside 0..{self.memory_words - 1}"
             )
+        self._grow_memory(address)
+
+    def _grow_memory(self, address: int) -> None:
+        """Extend the backing list (in place) to cover ``address``.
+
+        In place matters: ``run`` and the Dynamo VM hold direct
+        references to ``state.memory``, so the list object must never
+        be replaced.
+        """
+        memory = self.state.memory
+        if address >= len(memory):
+            memory.extend([0] * (address + 1 - len(memory)))
 
 
 def run_to_completion(

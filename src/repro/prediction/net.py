@@ -31,7 +31,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.prediction.base import OnlinePredictor, PredictionOutcome
+from repro.prediction.base import (
+    OnlinePredictor,
+    PredictionOutcome,
+    remaining_after,
+)
 from repro.trace.recorder import PathTrace
 
 
@@ -179,11 +183,9 @@ class NETPredictor(OnlinePredictor):
         captured: list[int] = []
         for _, time in sorted(hot_time.items(), key=lambda item: item[1]):
             path_id = int(trace.path_ids[time])
-            occurrences = order[starts[path_id] : starts[path_id + 1]]
-            cut = np.searchsorted(occurrences, time, side="left")
             predicted.append(path_id)
             times.append(time)
-            captured.append(int(len(occurrences) - cut))
+            captured.append(remaining_after(order, starts, path_id, time))
         return (
             np.asarray(predicted, dtype=np.int64),
             np.asarray(times, dtype=np.int64),

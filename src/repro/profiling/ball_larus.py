@@ -14,11 +14,14 @@ the *static* path count, which can be exponential in the procedure size.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cfg.block import BranchKind
 from repro.cfg.program import Program
 from repro.cfg.spanning_tree import BallLarusNumbering, number_program
 from repro.profiling.base import Profiler, ProfileReport
 from repro.profiling.counters import CounterTable
+from repro.trace.batch import CODE_CALL, CODE_RETURN, EventBatch
 from repro.trace.events import HALT_DST, BranchEvent
 
 
@@ -54,6 +57,12 @@ class BallLarusProfiler(Profiler):
         # Per-activation register stack: (proc_name, register, current uid).
         self._stack: list[list] = []
         self._started = False
+        # Batch-path lookup tables: a dense per-uid "terminator is
+        # RETURN" mask, a per-edge-code (increment, is_chord) cache,
+        # and dense virtual-entry/exit increment tables.
+        self._return_term: np.ndarray | None = None
+        self._edge_cache: dict[int, tuple[int, bool]] = {}
+        self._virtual_tables: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------
     def _enter_procedure(self, uid: int) -> None:
@@ -129,6 +138,182 @@ class BallLarusProfiler(Profiler):
             proc_name, event.src, event.dst, register
         )
         self._stack[-1][2] = event.dst
+
+    def _edge_tables(
+        self, codes: np.ndarray, stride: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-event ``(increment, is_chord)`` via an edge-code cache.
+
+        Non-edges (halt events, virtual-edge codes never seen as plain
+        transfers) resolve to ``(0, False)``.
+        """
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        inc = np.empty(len(uniq), np.int64)
+        chord = np.empty(len(uniq), bool)
+        cache = self._edge_cache
+        for i, code in enumerate(uniq.tolist()):
+            entry = cache.get(code)
+            if entry is None:
+                s, d_plus1 = divmod(code, stride)
+                d = d_plus1 - 1
+                increment = None
+                if d >= 0:
+                    proc = self._program.block_by_uid(s).proc_name
+                    increment = self._chords[proc].get((s, d))
+                entry = (
+                    (0, False) if increment is None else (increment, True)
+                )
+                cache[code] = entry
+            inc[i] = entry[0]
+            chord[i] = entry[1]
+        return inc[inverse], chord[inverse]
+
+    def _virtual_edge_tables(self) -> tuple[np.ndarray, ...]:
+        """Dense per-uid virtual-entry/exit (increment, is_chord) tables."""
+        if self._virtual_tables is None:
+            blocks = self._program.blocks
+            n = len(blocks)
+            entry_inc = np.zeros(n, np.int64)
+            entry_chord = np.zeros(n, bool)
+            exit_inc = np.zeros(n, np.int64)
+            exit_chord = np.zeros(n, bool)
+            for uid, block in enumerate(blocks):
+                numbering = self._numberings[block.proc_name]
+                chords = self._chords[block.proc_name]
+                inc = chords.get((numbering.virtual_entry, uid))
+                if inc is not None:
+                    entry_inc[uid] = inc
+                    entry_chord[uid] = True
+                inc = chords.get((uid, numbering.virtual_exit))
+                if inc is not None:
+                    exit_inc[uid] = inc
+                    exit_chord[uid] = True
+            self._virtual_tables = (
+                entry_inc,
+                entry_chord,
+                exit_inc,
+                exit_chord,
+            )
+        return self._virtual_tables
+
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Batch path: vectorized activation spans, scalar stack events.
+
+        Only halt/call/return events change the activation stack; the
+        Python loop visits just those.  Everything in between — chord
+        accumulation over plain edges and the backward-branch path ends
+        of the top activation — reduces to prefix-sum differences plus
+        dense virtual-entry/exit lookups, with path counts bumped from
+        a per-span ``np.unique``.  The resulting profile is identical
+        to the scalar one.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        src = batch.src
+        dst = batch.dst
+        kind = batch.kind
+        if self._return_term is None:
+            self._return_term = np.asarray(
+                [
+                    block.terminator.kind is BranchKind.RETURN
+                    for block in self._program.blocks
+                ],
+                bool,
+            )
+        return_term = self._return_term
+        entry_inc, entry_chord, exit_inc, exit_chord = (
+            self._virtual_edge_tables()
+        )
+        special = (
+            (dst == HALT_DST)
+            | (kind == CODE_CALL)
+            | (kind == CODE_RETURN)
+            | return_term[src]
+        )
+        bw = batch.backward & ~special
+        stride = len(return_term) + 1
+        inc_event, chord_event = self._edge_tables(
+            src * stride + (dst + 1), stride
+        )
+        plain = ~special & ~bw
+        cum_inc = np.concatenate(([0], np.cumsum(inc_event * plain)))
+        cum_chords = np.concatenate(([0], np.cumsum(chord_event & plain)))
+        bw_idx = np.flatnonzero(bw)
+
+        if not self._started:
+            self._started = True
+            self._enter_procedure(int(src[0]))
+
+        stack = self._stack
+
+        def apply_span(begin: int, end: int) -> None:
+            # Fold the span [begin, end) — plain edges plus top-of-stack
+            # backward path ends — into the stack top.
+            top = stack[-1]
+            lo = np.searchsorted(bw_idx, begin)
+            hi = np.searchsorted(bw_idx, end)
+            cuts = bw_idx[lo:hi]
+            if not cuts.size:
+                top[1] += int(cum_inc[end] - cum_inc[begin])
+                top[2] = int(dst[end - 1])
+                self._increment_ops += int(
+                    cum_chords[end] - cum_chords[begin]
+                )
+                return
+            ends_src = src[cuts]
+            starts_dst = dst[cuts]
+            # Path i runs from its start (span entry, or the restart
+            # after cut i-1) to cut i; its register is the start's
+            # entry value plus plain chords plus the virtual exit.
+            entry_part = np.empty(len(cuts), np.int64)
+            entry_part[0] = top[1]
+            entry_part[1:] = entry_inc[starts_dst[:-1]]
+            base = np.concatenate(([cum_inc[begin]], cum_inc[cuts[:-1]]))
+            regs = entry_part + (cum_inc[cuts] - base) + exit_inc[ends_src]
+            uniq, counts = np.unique(regs, return_counts=True)
+            proc_name = top[0]
+            self._counters.bump_many(
+                [(proc_name, register) for register in uniq.tolist()],
+                counts.tolist(),
+            )
+            last = int(cuts[-1])
+            ops = int(cum_chords[last] - cum_chords[begin])
+            ops += int(np.count_nonzero(entry_chord[starts_dst[:-1]]))
+            ops += int(np.count_nonzero(exit_chord[ends_src]))
+            # Restart after the last cut, then the trailing plain run.
+            restart = int(starts_dst[-1])
+            ops += int(entry_chord[restart])
+            ops += int(cum_chords[end] - cum_chords[last + 1])
+            self._increment_ops += ops
+            top[1] = int(entry_inc[restart]) + int(
+                cum_inc[end] - cum_inc[last + 1]
+            )
+            top[2] = int(dst[end - 1])
+
+        pos = 0
+        for j in np.flatnonzero(special).tolist():
+            if j > pos:
+                apply_span(pos, j)
+            s = int(src[j])
+            d = int(dst[j])
+            kd = int(kind[j])
+            if d == HALT_DST:
+                self._end_path(s, None)
+                stack.clear()
+            elif kd == CODE_CALL:
+                self._enter_procedure(d)
+            else:  # return edge, or a RETURN-terminated source block
+                self._end_path(s, None)
+                if stack:
+                    stack.pop()
+                if stack:
+                    proc_name, register, current = stack[-1]
+                    stack[-1][1] = self._apply(proc_name, current, d, register)
+                    stack[-1][2] = d
+            pos = j + 1
+        if pos < n:
+            apply_span(pos, n)
 
     def report(self) -> ProfileReport:
         # Close any paths still open at stream end.

@@ -12,6 +12,7 @@ import abc
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.trace.batch import EventBatch
 from repro.trace.events import BranchEvent
 
 
@@ -57,8 +58,32 @@ class Profiler(abc.ABC):
     def report(self) -> ProfileReport:
         """Finalize and return the profile."""
 
-    def run(self, events: Iterable[BranchEvent]) -> ProfileReport:
-        """Convenience: observe a whole stream and report."""
-        for event in events:
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Process one columnar event batch.
+
+        The default bridges to :meth:`observe` event by event;
+        profilers with a vectorized batch path override this.  Either
+        way the resulting report is identical to the scalar one.
+        """
+        for event in batch:
             self.observe(event)
+
+    def run(
+        self,
+        events: Iterable[BranchEvent] | EventBatch | Iterable[EventBatch],
+    ) -> ProfileReport:
+        """Convenience: observe a whole stream and report.
+
+        Accepts the classic event iterable, a single columnar
+        :class:`~repro.trace.batch.EventBatch`, or an iterable of
+        batches forming one stream.
+        """
+        if isinstance(events, EventBatch):
+            self.observe_batch(events)
+            return self.report()
+        for item in events:
+            if isinstance(item, EventBatch):
+                self.observe_batch(item)
+            else:
+                self.observe(item)
         return self.report()

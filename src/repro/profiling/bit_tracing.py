@@ -14,9 +14,19 @@ shared with :mod:`repro.trace.extractor` (and tested to agree with it).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cfg.program import Program
 from repro.profiling.base import Profiler, ProfileReport
 from repro.profiling.counters import CounterTable
+from repro.trace.batch import (
+    CODE_CALL,
+    CODE_FALLTHROUGH,
+    CODE_INDIRECT,
+    CODE_TAKEN,
+    EventBatch,
+)
+from repro.trace.columnar import find_cuts
 from repro.trace.events import HALT_DST, BranchEvent
 from repro.trace.path import PathSignature, SignatureRegister
 
@@ -43,6 +53,15 @@ class BitTracingProfiler(Profiler):
         self._open_calls = 0
         self._shift_ops = 0
         self._started = False
+        # Columnar-mode state: the open segment's start uid and its
+        # events so far, carried between observe_batch calls.
+        self._batch_mode = False
+        self._batch_halted = False
+        self._seg_uid: int | None = None
+        self._carry_dst: np.ndarray | None = None
+        self._carry_kind: np.ndarray | None = None
+        self._carry_backward: np.ndarray | None = None
+        self._sig_memo: dict[tuple, PathSignature] = {}
 
     def _start(self, uid: int) -> None:
         address = self._program.block_by_uid(uid).address
@@ -57,7 +76,154 @@ class BitTracingProfiler(Profiler):
         self._counters.bump(signature)
         self._register = None
 
+    def _bump_segment(
+        self, uid: int, dst_seg: np.ndarray, kind_seg: np.ndarray
+    ) -> None:
+        """Bump the signature of one segment (columnar mode).
+
+        The signature only depends on the start uid, the kind codes and
+        the indirect targets, so recurring segments hit a memo instead
+        of replaying their shifts.
+        """
+        key = (uid, (dst_seg * np.int64(8) + kind_seg).tobytes())
+        signature = self._sig_memo.get(key)
+        if signature is None:
+            signature = self._build_signature(uid, dst_seg, kind_seg)
+            self._sig_memo[key] = signature
+        self._counters.bump(signature)
+
+    def _build_signature(
+        self, uid: int, dst_seg: np.ndarray, kind_seg: np.ndarray
+    ) -> PathSignature:
+        """Replay one segment's shifts into a fresh register (memo miss)."""
+        register = SignatureRegister(self._program.block_by_uid(uid).address)
+        for kc, dc in zip(kind_seg.tolist(), dst_seg.tolist()):
+            if kc == CODE_TAKEN:
+                register.shift(1)
+            elif kc == CODE_FALLTHROUGH:
+                register.shift(0)
+            elif kc == CODE_INDIRECT and dc != HALT_DST:
+                register.record_indirect(
+                    self._program.block_by_uid(dc).address
+                )
+        return register.snapshot()
+
+    def _drain_batch_state(self) -> None:
+        """Rebuild the scalar register from the open columnar segment.
+
+        Called when :meth:`observe` follows columnar batches, so mixing
+        representations stays exact.  Shift ops were already counted
+        when the carried events arrived, so the replay does not recount
+        them.
+        """
+        self._batch_mode = False
+        if self._seg_uid is None:
+            # Halted (or tail already flushed): scalar register is None.
+            self._carry_dst = None
+            self._carry_kind = None
+            self._carry_backward = None
+            return
+        register = SignatureRegister(
+            self._program.block_by_uid(self._seg_uid).address
+        )
+        open_calls = 0
+        blocks = 1
+        if self._carry_dst is not None:
+            for kc, dc in zip(
+                self._carry_kind.tolist(), self._carry_dst.tolist()
+            ):
+                if kc == CODE_TAKEN:
+                    register.shift(1)
+                elif kc == CODE_FALLTHROUGH:
+                    register.shift(0)
+                elif kc == CODE_INDIRECT and dc != HALT_DST:
+                    register.record_indirect(
+                        self._program.block_by_uid(dc).address
+                    )
+                if kc == CODE_CALL:
+                    open_calls += 1
+                blocks += 1
+        self._register = register
+        self._open_calls = open_calls
+        self._blocks_in_path = blocks
+        self._seg_uid = None
+        self._carry_dst = None
+        self._carry_kind = None
+        self._carry_backward = None
+
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Columnar path: segment with find_cuts, bump memoized signatures.
+
+        Produces exactly the scalar profile: shift-op accounting is a
+        vectorized count, and each cut segment bumps the same signature
+        the register would have accumulated.  Events after a halt are
+        ignored (the trace has ended).
+        """
+        if self._started and not self._batch_mode:
+            # A scalar register is open; bridge event-by-event.
+            for event in batch:
+                self.observe(event)
+            return
+        if self._batch_halted or len(batch) == 0:
+            return
+        if not self._started:
+            self._started = True
+            self._seg_uid = int(batch.src[0])
+        self._batch_mode = True
+
+        dst = batch.dst
+        kind = batch.kind
+        backward = batch.backward
+        halts = np.flatnonzero(dst == HALT_DST)
+        if halts.size:
+            end = int(halts[0]) + 1
+            dst = dst[:end]
+            kind = kind[:end]
+            backward = backward[:end]
+            self._batch_halted = True
+
+        conditional = (kind == CODE_TAKEN) | (kind == CODE_FALLTHROUGH)
+        indirect = (kind == CODE_INDIRECT) & (dst != HALT_DST)
+        self._shift_ops += int(np.count_nonzero(conditional))
+        self._shift_ops += int(np.count_nonzero(indirect))
+
+        if self._carry_dst is not None and len(self._carry_dst):
+            dst = np.concatenate((self._carry_dst, dst))
+            kind = np.concatenate((self._carry_kind, kind))
+            backward = np.concatenate((self._carry_backward, backward))
+
+        # One combined column keys the segment memo: the signature only
+        # depends on (start uid, kinds, indirect targets), all captured
+        # by dst * 8 + kind.
+        comb = dst * np.int64(8) + kind
+        cuts = find_cuts(dst, kind, backward, self._max_blocks)
+        memo = self._sig_memo
+        bump = self._counters.bump
+        begin = 0
+        for cut, next_uid in zip(cuts.tolist(), dst[cuts].tolist()):
+            stop = cut + 1
+            key = (self._seg_uid, comb[begin:stop].tobytes())
+            signature = memo.get(key)
+            if signature is None:
+                signature = self._build_signature(
+                    self._seg_uid, dst[begin:stop], kind[begin:stop]
+                )
+                memo[key] = signature
+            bump(signature)
+            self._seg_uid = None if next_uid == HALT_DST else next_uid
+            begin = stop
+        if self._batch_halted:
+            self._carry_dst = None
+            self._carry_kind = None
+            self._carry_backward = None
+        else:
+            self._carry_dst = dst[begin:].copy()
+            self._carry_kind = kind[begin:].copy()
+            self._carry_backward = backward[begin:].copy()
+
     def observe(self, event: BranchEvent) -> None:
+        if self._batch_mode:
+            self._drain_batch_state()
         if not self._started:
             self._started = True
             self._start(event.src)
@@ -98,6 +264,24 @@ class BitTracingProfiler(Profiler):
             self._blocks_in_path += 1
 
     def report(self) -> ProfileReport:
+        if self._batch_mode and self._seg_uid is not None:
+            # Flush the open columnar segment (the path in flight when
+            # the stream ended), mirroring the scalar register flush.
+            dst_tail = (
+                self._carry_dst
+                if self._carry_dst is not None
+                else np.empty(0, np.int64)
+            )
+            kind_tail = (
+                self._carry_kind
+                if self._carry_kind is not None
+                else np.empty(0, np.uint8)
+            )
+            self._bump_segment(self._seg_uid, dst_tail, kind_tail)
+            self._seg_uid = None
+            self._carry_dst = None
+            self._carry_kind = None
+            self._carry_backward = None
         self._finish()
         return ProfileReport(
             scheme=self.name,

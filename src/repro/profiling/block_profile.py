@@ -8,8 +8,11 @@ block entry, NET only at backward-taken-branch targets.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.profiling.base import Profiler, ProfileReport
 from repro.profiling.counters import CounterTable
+from repro.trace.batch import EventBatch
 from repro.trace.events import HALT_DST, BranchEvent
 
 
@@ -28,6 +31,14 @@ class BlockProfiler(Profiler):
         if event.dst == HALT_DST:
             return
         self._counters.bump(event.dst)
+
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Vectorized: count distinct destinations in one pass."""
+        dst = batch.dst[batch.dst != HALT_DST]
+        if not len(dst):
+            return
+        uids, counts = np.unique(dst, return_counts=True)
+        self._counters.bump_many(uids.tolist(), counts.tolist())
 
     def report(self) -> ProfileReport:
         return ProfileReport(

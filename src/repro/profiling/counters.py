@@ -8,7 +8,7 @@ runtime overhead) fall out of every scheme uniformly.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 from repro.errors import ProfilingError
 
@@ -40,6 +40,30 @@ class CounterTable:
         if len(self._counts) > self.high_water:
             self.high_water = len(self._counts)
         return new_value
+
+    def bump_many(
+        self, keys: Iterable[Hashable], amounts: Iterable[int]
+    ) -> None:
+        """Apply many increments in one call, with scalar accounting.
+
+        Equivalent to ``bump(key, 1)`` repeated ``amount`` times for
+        each pair — ``updates`` grows by the *total* increment count and
+        ``high_water`` by the final table size (exact, because a bump
+        sequence only ever grows the table) — so batched profilers
+        report the same cost figures as their scalar loops.
+        """
+        counts = self._counts
+        total = 0
+        for key, amount in zip(keys, amounts):
+            if amount < 0:
+                raise ProfilingError(
+                    "cannot bump a counter by a negative amount"
+                )
+            counts[key] = counts.get(key, 0) + amount
+            total += amount
+        self.updates += total
+        if len(counts) > self.high_water:
+            self.high_water = len(counts)
 
     def get(self, key: Hashable) -> int:
         """Current count for ``key`` (0 if never bumped)."""

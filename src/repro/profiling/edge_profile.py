@@ -8,8 +8,11 @@ profiler counts every traversed (src, dst) block pair.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.profiling.base import Profiler, ProfileReport
 from repro.profiling.counters import CounterTable
+from repro.trace.batch import EventBatch
 from repro.trace.events import HALT_DST, BranchEvent
 
 
@@ -25,6 +28,20 @@ class EdgeProfiler(Profiler):
         if event.dst == HALT_DST:
             return
         self._counters.bump((event.src, event.dst))
+
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Vectorized: encode (src, dst) pairs, count distinct codes."""
+        live = batch.dst != HALT_DST
+        src = batch.src[live]
+        dst = batch.dst[live]
+        if not len(src):
+            return
+        stride = int(dst.max()) + 1
+        codes, counts = np.unique(src * stride + dst, return_counts=True)
+        keys = [
+            (code // stride, code % stride) for code in codes.tolist()
+        ]
+        self._counters.bump_many(keys, counts.tolist())
 
     def report(self) -> ProfileReport:
         return ProfileReport(

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cfg.program import Program
 from repro.profiling.ball_larus import BallLarusProfiler
 from repro.profiling.base import Profiler, ProfileReport
@@ -19,6 +21,7 @@ from repro.profiling.block_profile import BlockProfiler
 from repro.profiling.counters import CounterTable
 from repro.profiling.edge_profile import EdgeProfiler
 from repro.profiling.kpaths import KBoundedPathProfiler
+from repro.trace.batch import EventBatch
 from repro.trace.events import BranchEvent
 
 
@@ -51,6 +54,14 @@ class HeadCounterProfiler(Profiler):
         if event.backward:
             self._counters.bump(event.dst)
 
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Vectorized: count distinct backward-branch targets."""
+        heads = batch.dst[batch.backward]
+        if not len(heads):
+            return
+        uids, counts = np.unique(heads, return_counts=True)
+        self._counters.bump_many(uids.tolist(), counts.tolist())
+
     def report(self) -> ProfileReport:
         return ProfileReport(
             scheme=self.name,
@@ -61,12 +72,17 @@ class HeadCounterProfiler(Profiler):
 
 
 def compare_schemes(
-    program: Program, events: list[BranchEvent], k: int = 8
+    program: Program,
+    events: list[BranchEvent] | EventBatch | list[EventBatch],
+    k: int = 8,
 ) -> list[OverheadRow]:
     """Run every profiling scheme over ``events`` and tabulate costs.
 
-    ``events`` must be materialized (a list) because each profiler
-    consumes the stream once.
+    ``events`` must be materialized (a list of events, one columnar
+    :class:`~repro.trace.batch.EventBatch`, or a list of batches)
+    because each profiler consumes the stream once.  The rows are
+    exactly equal whichever representation carries the stream; the
+    columnar forms run the profilers' vectorized batch paths.
     """
     profilers = [
         BitTracingProfiler(program),

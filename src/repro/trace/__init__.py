@@ -10,6 +10,8 @@ Workload surrogates may synthesize a :class:`PathTrace` directly from a
 stochastic path model; everything downstream is agnostic to the origin.
 """
 
+from repro.trace.batch import EventBatch, EventBatchBuilder
+from repro.trace.columnar import find_cuts
 from repro.trace.events import HALT_DST, BranchEvent, halt_event
 from repro.trace.extractor import PathExtractor, PathOccurrence, extract_paths
 from repro.trace.io import load_trace, save_trace
@@ -17,6 +19,7 @@ from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
 from repro.trace.recorder import PathTrace, record_path_trace
 from repro.trace.stats import TraceSummary, summarize
 from repro.trace.walker import (
+    BlockRandomOracle,
     BranchOracle,
     CFGWalker,
     RandomOracle,
@@ -26,9 +29,12 @@ from repro.trace.walker import (
 
 __all__ = [
     "HALT_DST",
+    "BlockRandomOracle",
     "BranchEvent",
     "BranchOracle",
     "CFGWalker",
+    "EventBatch",
+    "EventBatchBuilder",
     "Path",
     "PathExtractor",
     "PathOccurrence",
@@ -41,6 +47,7 @@ __all__ = [
     "TraceSummary",
     "TripCountOracle",
     "extract_paths",
+    "find_cuts",
     "halt_event",
     "load_trace",
     "save_trace",

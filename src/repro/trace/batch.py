@@ -1,0 +1,231 @@
+"""Columnar branch-event batches: the event stream as numpy columns.
+
+:class:`BranchEvent` objects are the reference representation of a
+trace, but moving one Python object per control transfer costs millions
+of allocations on the workloads the §4 overhead comparison and the
+extended experiments run.  :class:`EventBatch` stores the same stream as
+four contiguous numpy columns (``src``, ``dst``, ``kind``, ``backward``)
+so producers (``Machine.run_batched``, ``CFGWalker.walk_batched``) can
+fill flat buffers in a tight loop and consumers (the path extractor,
+the §4 profilers) can segment and count with vectorized masks.
+
+The bridge is lossless in both directions: ``EventBatch.from_events``
+packs any event iterable, and iterating a batch yields the exact
+:class:`BranchEvent` objects it was packed from.  Edge kinds travel as
+small integer codes (:data:`KIND_CODE` / :data:`CODE_KIND`); the codes
+are an in-memory encoding, not a serialization format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.cfg.edge import EdgeKind
+from repro.errors import TraceError
+from repro.trace.events import BranchEvent
+
+#: Dense integer codes for :class:`~repro.cfg.edge.EdgeKind`, in a fixed
+#: order so batches built by different producers agree.
+CODE_TAKEN = 0
+CODE_FALLTHROUGH = 1
+CODE_STRAIGHT = 2
+CODE_JUMP = 3
+CODE_INDIRECT = 4
+CODE_CALL = 5
+CODE_RETURN = 6
+
+#: EdgeKind -> code.
+KIND_CODE: dict[EdgeKind, int] = {
+    EdgeKind.TAKEN: CODE_TAKEN,
+    EdgeKind.FALLTHROUGH: CODE_FALLTHROUGH,
+    EdgeKind.STRAIGHT: CODE_STRAIGHT,
+    EdgeKind.JUMP: CODE_JUMP,
+    EdgeKind.INDIRECT: CODE_INDIRECT,
+    EdgeKind.CALL: CODE_CALL,
+    EdgeKind.RETURN: CODE_RETURN,
+}
+
+#: code -> EdgeKind (indexable by code).
+CODE_KIND: tuple[EdgeKind, ...] = (
+    EdgeKind.TAKEN,
+    EdgeKind.FALLTHROUGH,
+    EdgeKind.STRAIGHT,
+    EdgeKind.JUMP,
+    EdgeKind.INDIRECT,
+    EdgeKind.CALL,
+    EdgeKind.RETURN,
+)
+
+
+class EventBatch:
+    """A run of branch events as four aligned columns.
+
+    Attributes
+    ----------
+    src / dst:
+        ``int64`` block uids, one entry per event (``dst`` is
+        :data:`~repro.trace.events.HALT_DST` for halt events).
+    kind:
+        ``uint8`` edge-kind codes (:data:`KIND_CODE`).
+    backward:
+        ``bool`` backward-taken-branch flags.
+    """
+
+    __slots__ = ("src", "dst", "kind", "backward")
+
+    def __init__(
+        self,
+        src: np.ndarray | Sequence[int],
+        dst: np.ndarray | Sequence[int],
+        kind: np.ndarray | Sequence[int],
+        backward: np.ndarray | Sequence[bool],
+    ):
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.kind = np.asarray(kind, dtype=np.uint8)
+        self.backward = np.asarray(backward, dtype=bool)
+        n = len(self.src)
+        for name in ("src", "dst", "kind", "backward"):
+            column = getattr(self, name)
+            if column.ndim != 1:
+                raise TraceError(f"event column {name!r} must be 1-D")
+            if len(column) != n:
+                raise TraceError(
+                    f"event column {name!r} has {len(column)} entries, "
+                    f"expected {n}"
+                )
+        if n and self.kind.max() >= len(CODE_KIND):
+            raise TraceError("event batch contains an unknown kind code")
+
+    # ------------------------------------------------------------------
+    # Bridges to and from the object stream
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events: Iterable[BranchEvent]) -> "EventBatch":
+        """Pack an event iterable into columns (lossless)."""
+        src: list[int] = []
+        dst: list[int] = []
+        kind: list[int] = []
+        backward: list[bool] = []
+        code = KIND_CODE
+        for event in events:
+            src.append(event.src)
+            dst.append(event.dst)
+            kind.append(code[event.kind])
+            backward.append(event.backward)
+        return cls(src, dst, kind, backward)
+
+    def to_events(self) -> list[BranchEvent]:
+        """Unpack into a list of :class:`BranchEvent` (lossless)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[BranchEvent]:
+        kinds = CODE_KIND
+        for s, d, k, b in zip(
+            self.src.tolist(),
+            self.dst.tolist(),
+            self.kind.tolist(),
+            self.backward.tolist(),
+        ):
+            yield BranchEvent(src=s, dst=d, kind=kinds[k], backward=b)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    @classmethod
+    def concat(cls, batches: Sequence["EventBatch"]) -> "EventBatch":
+        """Concatenate batches in order (empty input gives an empty batch)."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            np.concatenate([b.src for b in batches]),
+            np.concatenate([b.dst for b in batches]),
+            np.concatenate([b.kind for b in batches]),
+            np.concatenate([b.backward for b in batches]),
+        )
+
+    @classmethod
+    def empty(cls) -> "EventBatch":
+        """A zero-event batch."""
+        return cls(
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.uint8),
+            np.empty(0, bool),
+        )
+
+    def slice(self, start: int, stop: int) -> "EventBatch":
+        """A view batch over events ``[start, stop)`` (shares memory)."""
+        return EventBatch(
+            self.src[start:stop],
+            self.dst[start:stop],
+            self.kind[start:stop],
+            self.backward[start:stop],
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Total memory footprint of the columns."""
+        return (
+            self.src.nbytes
+            + self.dst.nbytes
+            + self.kind.nbytes
+            + self.backward.nbytes
+        )
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventBatch):
+            return NotImplemented
+        return (
+            np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+            and np.array_equal(self.kind, other.kind)
+            and np.array_equal(self.backward, other.backward)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventBatch(events={len(self)})"
+
+
+class EventBatchBuilder:
+    """Append-only buffer the batched producers fill in their hot loop.
+
+    Appends go to plain Python lists (the cheapest per-event operation
+    available to an interpreter loop); :meth:`build` converts to numpy
+    columns in one shot and resets the buffer.
+    """
+
+    __slots__ = ("_src", "_dst", "_kind", "_backward")
+
+    def __init__(self) -> None:
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._kind: list[int] = []
+        self._backward: list[bool] = []
+
+    def append(self, src: int, dst: int, kind_code: int, backward: bool) -> None:
+        self._src.append(src)
+        self._dst.append(dst)
+        self._kind.append(kind_code)
+        self._backward.append(backward)
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def build(self) -> EventBatch:
+        """Freeze the buffered events into a batch and reset."""
+        batch = EventBatch(self._src, self._dst, self._kind, self._backward)
+        self._src = []
+        self._dst = []
+        self._kind = []
+        self._backward = []
+        return batch

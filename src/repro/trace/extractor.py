@@ -30,10 +30,19 @@ metrics rely on (and that the property tests assert).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cfg.program import Program
 from repro.errors import TraceError
+from repro.trace.batch import (
+    CODE_FALLTHROUGH,
+    CODE_INDIRECT,
+    CODE_TAKEN,
+    EventBatch,
+)
+from repro.trace.columnar import find_cuts
 from repro.trace.events import HALT_DST, BranchEvent
 from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
 
@@ -44,6 +53,28 @@ class PathOccurrence:
 
     path_id: int
     index: int
+
+
+#: Segment-memo markers distinguishing how a segment ended (two
+#: segments with identical event columns but different endings resolve
+#: to different paths: a cut segment excludes the cut event's target
+#: from its block list, the unterminated tail includes every target).
+_END_FORWARD = 0
+_END_BACKWARD = 1
+_END_TAIL = 2
+
+
+@dataclass(slots=True)
+class _BatchCursor:
+    """Streaming state while extracting a sequence of batches."""
+
+    uid: int  # start uid of the open segment
+    expect_src: int  # src the next event must carry (continuity check)
+    halted: bool = False
+    carry_dst: np.ndarray | None = None
+    carry_kind: np.ndarray | None = None
+    carry_backward: np.ndarray | None = None
+    ids: list[int] = field(default_factory=list)
 
 
 class PathExtractor:
@@ -73,6 +104,12 @@ class PathExtractor:
         self._program = program
         self.table = table if table is not None else PathTable()
         self._max_blocks = max_blocks
+        # Batched extraction interns whole segments through this memo:
+        # a segment's path (and thus its table id) is a pure function of
+        # (start uid, event targets, event kinds, how it ended), so a
+        # byte-string key resolves repeated segments without rebuilding
+        # Path objects.  See :meth:`extract_batch`.
+        self._segment_memo: dict[tuple, int] = {}
 
     def extract(
         self, events: Iterable[BranchEvent], start_uid: int | None = None
@@ -166,6 +203,199 @@ class PathExtractor:
         if blocks:
             ends_backward = False
             yield flush()
+
+    # ------------------------------------------------------------------
+    # Columnar (batched) extraction
+    # ------------------------------------------------------------------
+    def extract_batch(
+        self, batch: EventBatch, start_uid: int | None = None
+    ) -> list[PathOccurrence]:
+        """Vectorized :meth:`extract` over one complete columnar stream.
+
+        Produces exactly the occurrences (and interns exactly the paths,
+        in the same order) that :meth:`extract` would over the same
+        events — the equivalence the digest tests pin down.
+        """
+        ids = self.extract_batch_ids(batch, start_uid=start_uid)
+        return [
+            PathOccurrence(path_id=path_id, index=index)
+            for index, path_id in enumerate(ids.tolist())
+        ]
+
+    def extract_batch_ids(
+        self,
+        batches: EventBatch | Iterable[EventBatch],
+        start_uid: int | None = None,
+    ) -> np.ndarray:
+        """Path ids for a columnar stream, one entry per occurrence.
+
+        Accepts a single :class:`EventBatch` or an iterable of batches
+        forming one stream (events carried across batch boundaries stay
+        in their segment).  Segment boundaries come from
+        :func:`repro.trace.columnar.find_cuts`; each segment resolves to
+        a table id through a byte-string memo, so repeated segments —
+        the overwhelmingly common case on loopy programs — cost no
+        per-event Python work at all.
+        """
+        if isinstance(batches, EventBatch):
+            batches = (batches,)
+        uid = (
+            start_uid
+            if start_uid is not None
+            else self._program.entry_block.uid
+        )
+        cursor = _BatchCursor(uid=uid, expect_src=uid)
+        for batch in batches:
+            if cursor.halted:
+                break  # the scalar extractor stops consuming at halt
+            self._consume_batch(batch, cursor)
+        if not cursor.halted:
+            self._flush_tail(cursor)
+        return np.asarray(cursor.ids, dtype=np.int64)
+
+    def _consume_batch(self, batch: EventBatch, cursor: _BatchCursor) -> None:
+        if len(batch) == 0:
+            return
+        src = batch.src
+        dst = batch.dst
+        kind = batch.kind
+        backward = batch.backward
+
+        # Truncate at the first halt: the stream ends there, and events
+        # beyond it are never even validated by the scalar extractor.
+        halts = np.flatnonzero(dst == HALT_DST)
+        if halts.size:
+            end = int(halts[0]) + 1
+            src = src[:end]
+            dst = dst[:end]
+            kind = kind[:end]
+            backward = backward[:end]
+            cursor.halted = True
+
+        # Continuity validation, the batch form of the scalar "event
+        # source does not match current block" check: every event's src
+        # must be the previous event's dst (the first continuing from
+        # the open segment).
+        if int(src[0]) != cursor.expect_src:
+            raise TraceError(
+                f"event source {int(src[0])} does not match current "
+                f"block {cursor.expect_src}"
+            )
+        if len(src) > 1:
+            mismatch = np.flatnonzero(src[1:] != dst[:-1])
+            if mismatch.size:
+                at = int(mismatch[0])
+                raise TraceError(
+                    f"event source {int(src[at + 1])} does not match "
+                    f"current block {int(dst[at])}"
+                )
+        cursor.expect_src = int(dst[-1])
+
+        # Prepend the open segment's carried events (bounded by
+        # max_blocks: a length cut fires before the carry can grow past
+        # it) so cuts are found with full segment context.
+        if cursor.carry_dst is not None and len(cursor.carry_dst):
+            dst = np.concatenate((cursor.carry_dst, dst))
+            kind = np.concatenate((cursor.carry_kind, kind))
+            backward = np.concatenate((cursor.carry_backward, backward))
+        cursor.carry_dst = None
+        cursor.carry_kind = None
+        cursor.carry_backward = None
+
+        cuts = find_cuts(dst, kind, backward, self._max_blocks)
+
+        prev = -1
+        uid = cursor.uid
+        memo = self._segment_memo
+        intern = self._intern_segment
+        ids = cursor.ids
+        for cut in cuts.tolist():
+            begin = prev + 1
+            dst_slice = dst[begin : cut + 1]
+            kind_slice = kind[begin : cut + 1]
+            marker = _END_BACKWARD if backward[cut] else _END_FORWARD
+            key = (uid, dst_slice.tobytes(), kind_slice.tobytes(), marker)
+            path_id = memo.get(key)
+            if path_id is None:
+                path_id = intern(uid, dst_slice, kind_slice, marker)
+                memo[key] = path_id
+            ids.append(path_id)
+            prev = cut
+            uid = int(dst[cut])
+
+        cursor.uid = uid
+        begin = prev + 1
+        if not cursor.halted and begin < len(dst):
+            # Events after the last cut stay buffered as the open
+            # segment (copied: the slices would pin the whole batch).
+            cursor.carry_dst = dst[begin:].copy()
+            cursor.carry_kind = kind[begin:].copy()
+            cursor.carry_backward = backward[begin:].copy()
+
+    def _flush_tail(self, cursor: _BatchCursor) -> None:
+        """Emit the final, unterminated segment (scalar always does)."""
+        if cursor.carry_dst is None:
+            dst_slice = np.empty(0, dtype=np.int64)
+            kind_slice = np.empty(0, dtype=np.uint8)
+        else:
+            dst_slice = cursor.carry_dst
+            kind_slice = cursor.carry_kind
+        key = (
+            cursor.uid,
+            dst_slice.tobytes(),
+            kind_slice.tobytes(),
+            _END_TAIL,
+        )
+        path_id = self._segment_memo.get(key)
+        if path_id is None:
+            path_id = self._intern_segment(
+                cursor.uid, dst_slice, kind_slice, _END_TAIL
+            )
+            self._segment_memo[key] = path_id
+        cursor.ids.append(path_id)
+
+    def _intern_segment(
+        self,
+        uid: int,
+        dst_slice: np.ndarray,
+        kind_slice: np.ndarray,
+        marker: int,
+    ) -> int:
+        """Rebuild one segment's Path scalar-style and intern it.
+
+        Runs once per *distinct* segment (memo misses only); the block
+        list, signature bits and indirect targets are reconstructed
+        exactly as the scalar extractor's shift register builds them.
+        """
+        program = self._program
+        dsts = dst_slice.tolist()
+        kinds = kind_slice.tolist()
+        # A cut segment's final event belongs to it (its history bit is
+        # shifted in) but its target opens the next segment; the tail
+        # segment keeps every target.
+        block_dsts = dsts if marker == _END_TAIL else dsts[:-1]
+        blocks = [uid]
+        blocks.extend(block_dsts)
+        history = 0
+        bit_count = 0
+        indirect: list[int] = []
+        for dst, code in zip(dsts, kinds):
+            if code == CODE_TAKEN:
+                history = (history << 1) | 1
+                bit_count += 1
+            elif code == CODE_FALLTHROUGH:
+                history <<= 1
+                bit_count += 1
+            elif code == CODE_INDIRECT and dst != HALT_DST:
+                indirect.append(program.block_by_uid(dst).address)
+        signature = PathSignature(
+            start_address=program.block_by_uid(uid).address,
+            history=history,
+            bit_count=bit_count,
+            indirect_targets=tuple(indirect),
+        )
+        path = self._make_path(blocks, signature, marker == _END_BACKWARD)
+        return self.table.intern(path)
 
     def _make_path(
         self,

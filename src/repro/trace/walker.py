@@ -11,14 +11,30 @@ so every trace in the test-suite and the experiments is reproducible.
 from __future__ import annotations
 
 import random
+import time
 from collections.abc import Iterator
+from dataclasses import dataclass
 from typing import Protocol
+
+import numpy as np
 
 from repro.cfg.block import BasicBlock, BranchKind
 from repro.cfg.edge import EdgeKind
 from repro.cfg.program import Program
 from repro.errors import MachineLimitExceeded, TraceError
-from repro.trace.events import BranchEvent, halt_event
+from repro.obs.core import Registry, get_registry
+from repro.trace.batch import (
+    CODE_CALL,
+    CODE_FALLTHROUGH,
+    CODE_INDIRECT,
+    CODE_JUMP,
+    CODE_RETURN,
+    CODE_STRAIGHT,
+    CODE_TAKEN,
+    EventBatch,
+    EventBatchBuilder,
+)
+from repro.trace.events import HALT_DST, BranchEvent, halt_event
 
 
 class BranchOracle(Protocol):
@@ -54,6 +70,51 @@ class RandomOracle:
 
     def decide_multiway(self, block: BasicBlock, arity: int) -> int:
         return self._rng.randrange(arity)
+
+
+class BlockRandomOracle:
+    """Random oracle drawing its uniforms in vectorized blocks.
+
+    Behaves like :class:`RandomOracle` (per-block taken bias, seeded
+    determinism) but sources randomness from a numpy generator refilled
+    ``block_size`` draws at a time — the per-decision cost is one array
+    read instead of a ``random.Random`` call.  Decisions depend only on
+    the order they are requested in, so the same oracle instance drives
+    :meth:`CFGWalker.walk` and :meth:`CFGWalker.walk_batched` to the
+    exact same trace.  (The stream differs from ``RandomOracle`` with
+    the same seed: the underlying generators differ.)
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        bias: dict[int, float] | None = None,
+        default_bias: float = 0.5,
+        block_size: int = 4096,
+    ):
+        if block_size < 1:
+            raise TraceError("block_size must be positive")
+        self._rng = np.random.default_rng(seed)
+        self._bias = dict(bias or {})
+        self._default_bias = default_bias
+        self._block_size = block_size
+        self._uniforms: list[float] = []
+        self._cursor = 0
+
+    def _next_uniform(self) -> float:
+        if self._cursor >= len(self._uniforms):
+            self._uniforms = self._rng.random(self._block_size).tolist()
+            self._cursor = 0
+        value = self._uniforms[self._cursor]
+        self._cursor += 1
+        return value
+
+    def decide_cond(self, block: BasicBlock) -> bool:
+        probability = self._bias.get(block.uid, self._default_bias)
+        return self._next_uniform() < probability
+
+    def decide_multiway(self, block: BasicBlock, arity: int) -> int:
+        return min(int(self._next_uniform() * arity), arity - 1)
 
 
 class TripCountOracle:
@@ -129,6 +190,26 @@ class ScriptedOracle:
         return value
 
 
+@dataclass(frozen=True, slots=True)
+class _TerminatorTables:
+    """Dense per-uid terminator data for the batched walk loop.
+
+    Everything :meth:`CFGWalker._step` recomputes per event — edge
+    kinds, static targets, backwardness — resolved once per program
+    into flat lists indexed by block uid.
+    """
+
+    kind: list[BranchKind]
+    blocks: list[BasicBlock]  # for oracle calls
+    taken: list[int | None]  # taken/jump/call static target
+    fall: list[int | None]  # fall-through successor
+    taken_backward: list[bool]  # backwardness of the static target edge
+    targets: list[tuple[int, ...]]  # indirect/icall target sets
+    target_backward: list[tuple[bool, ...]]
+    address: list[int]  # block start address (return backwardness)
+    branch_address: list[int]  # terminator address
+
+
 class CFGWalker:
     """Executes a program under an oracle, yielding branch events."""
 
@@ -137,6 +218,7 @@ class CFGWalker:
             raise TraceError("program must be finalized before walking")
         self._program = program
         self._oracle = oracle
+        self._tables: _TerminatorTables | None = None
 
     def walk(self, max_events: int | None = None) -> Iterator[BranchEvent]:
         """Yield events until HALT (inclusive) or ``max_events``.
@@ -163,6 +245,192 @@ class CFGWalker:
             if next_uid is None:
                 return
             block = program.block_by_uid(next_uid)
+
+    # ------------------------------------------------------------------
+    # Columnar (batched) walking
+    # ------------------------------------------------------------------
+    def walk_batched(
+        self,
+        max_events: int | None = None,
+        batch_size: int = 1 << 16,
+        truncate: bool = False,
+        obs: Registry | None = None,
+    ) -> Iterator[EventBatch]:
+        """Yield the :meth:`walk` event stream as columnar batches.
+
+        Event-for-event identical to :meth:`walk` under the same oracle
+        (oracle decisions are requested in the same order), but the hot
+        loop appends four scalars to flat buffers instead of building a
+        :class:`BranchEvent` per transfer, with per-block terminator
+        data resolved once up front.
+
+        ``truncate=True`` ends the stream cleanly at ``max_events``
+        (like ``islice`` over :meth:`walk`) instead of raising
+        :class:`MachineLimitExceeded`.  ``obs`` publishes ``tracegen.*``
+        instruments: events and batches produced, generation time, and
+        events/second.
+        """
+        if batch_size < 1:
+            raise TraceError("batch_size must be positive")
+        registry = get_registry(obs)
+        tables = self._terminator_tables()
+        oracle = self._oracle
+        kind = tables.kind
+        blocks = tables.blocks
+        taken = tables.taken
+        fall = tables.fall
+        taken_backward = tables.taken_backward
+        targets = tables.targets
+        target_backward = tables.target_backward
+        address = tables.address
+        branch_address = tables.branch_address
+
+        builder = EventBatchBuilder()
+        uid = self._program.entry_block.uid
+        call_stack: list[int] = []
+        emitted = 0
+        batches = 0
+        started = time.perf_counter()
+        try:
+            while True:
+                if max_events is not None and emitted >= max_events:
+                    if truncate:
+                        if len(builder):
+                            batches += 1
+                            yield builder.build()
+                        return
+                    raise MachineLimitExceeded(emitted)
+
+                term = kind[uid]
+                halt = False
+                if term is BranchKind.COND:
+                    if oracle.decide_cond(blocks[uid]):
+                        dst = taken[uid]
+                        code = CODE_TAKEN
+                        backward = taken_backward[uid]
+                    else:
+                        dst = fall[uid]
+                        code = CODE_FALLTHROUGH
+                        backward = False
+                elif term is BranchKind.JUMP:
+                    dst = taken[uid]
+                    code = CODE_JUMP
+                    backward = taken_backward[uid]
+                elif term is BranchKind.INDIRECT:
+                    index = oracle.decide_multiway(
+                        blocks[uid], len(targets[uid])
+                    )
+                    dst = targets[uid][index]
+                    code = CODE_INDIRECT
+                    backward = target_backward[uid][index]
+                elif term is BranchKind.CALL:
+                    call_stack.append(fall[uid])
+                    dst = taken[uid]
+                    code = CODE_CALL
+                    backward = taken_backward[uid]
+                elif term is BranchKind.ICALL:
+                    index = oracle.decide_multiway(
+                        blocks[uid], len(targets[uid])
+                    )
+                    call_stack.append(fall[uid])
+                    dst = targets[uid][index]
+                    code = CODE_CALL
+                    backward = target_backward[uid][index]
+                elif term is BranchKind.RETURN:
+                    if call_stack:
+                        dst = call_stack.pop()
+                        code = CODE_RETURN
+                        backward = address[dst] <= branch_address[uid]
+                    else:
+                        dst = HALT_DST
+                        code = CODE_JUMP
+                        backward = False
+                        halt = True
+                elif term is BranchKind.FALLTHROUGH:
+                    dst = fall[uid]
+                    code = CODE_STRAIGHT
+                    backward = False
+                elif term is BranchKind.HALT:
+                    dst = HALT_DST
+                    code = CODE_JUMP
+                    backward = False
+                    halt = True
+                else:
+                    raise TraceError(f"unknown terminator kind {term!r}")
+
+                builder.append(uid, dst, code, backward)
+                emitted += 1
+                if halt:
+                    batches += 1
+                    yield builder.build()
+                    return
+                if len(builder) >= batch_size:
+                    batches += 1
+                    yield builder.build()
+                uid = dst
+        finally:
+            if registry.enabled:
+                elapsed = time.perf_counter() - started
+                registry.counter("tracegen.events").inc(emitted)
+                registry.counter("tracegen.batches").inc(batches)
+                registry.timer("tracegen.generate").observe(elapsed)
+                if elapsed > 0:
+                    registry.gauge("tracegen.events_per_sec").set(
+                        emitted / elapsed
+                    )
+
+    def _terminator_tables(self) -> _TerminatorTables:
+        """Build (once) the dense per-uid tables the batched loop reads."""
+        if self._tables is not None:
+            return self._tables
+        program = self._program
+        n = program.num_blocks
+        tables = _TerminatorTables(
+            kind=[BranchKind.HALT] * n,
+            blocks=[None] * n,  # type: ignore[list-item]
+            taken=[None] * n,
+            fall=[None] * n,
+            taken_backward=[False] * n,
+            targets=[()] * n,
+            target_backward=[()] * n,
+            address=[0] * n,
+            branch_address=[0] * n,
+        )
+
+        def is_backward(src: BasicBlock, dst_uid: int) -> bool:
+            dst = program.block_by_uid(dst_uid)
+            return dst.address <= src.branch_address
+
+        for uid in range(n):
+            block = program.block_by_uid(uid)
+            term = block.terminator
+            tables.kind[uid] = term.kind
+            tables.blocks[uid] = block
+            tables.address[uid] = block.address
+            tables.branch_address[uid] = block.branch_address
+            if term.kind in (
+                BranchKind.COND,
+                BranchKind.JUMP,
+                BranchKind.CALL,
+            ):
+                tables.taken[uid] = block.taken_uid
+                tables.taken_backward[uid] = is_backward(
+                    block, block.taken_uid
+                )
+            if term.kind in (
+                BranchKind.COND,
+                BranchKind.CALL,
+                BranchKind.ICALL,
+                BranchKind.FALLTHROUGH,
+            ):
+                tables.fall[uid] = block.fallthrough_uid
+            if term.kind in (BranchKind.INDIRECT, BranchKind.ICALL):
+                tables.targets[uid] = tuple(block.target_uids)
+                tables.target_backward[uid] = tuple(
+                    is_backward(block, t) for t in block.target_uids
+                )
+        self._tables = tables
+        return tables
 
     def _step(
         self, block: BasicBlock, call_stack: list[int]

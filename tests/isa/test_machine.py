@@ -178,3 +178,66 @@ def test_load_memory_bounds():
     machine = Machine(assemble(".proc main\n    halt\n.endproc"))
     with pytest.raises(MachineError):
         machine.load_memory([1, 2, 3], base=-1)
+
+
+def test_memory_allocation_is_lazy():
+    """The backing list grows on demand instead of pre-allocating 64K."""
+    machine = Machine(assemble(".proc main\n    halt\n.endproc"))
+    assert machine.state.memory == []
+    list(machine.run())
+    assert machine.state.memory == []  # no loads or stores, no growth
+
+
+def test_memory_grows_to_highest_touched_address():
+    source = """
+.proc main
+    li r1, 100
+    li r2, 31
+    st r2, r1, 5
+    halt
+.endproc
+"""
+    _, machine = _run(source)
+    assert len(machine.state.memory) == 106
+    assert machine.state.memory[105] == 31
+
+
+def test_load_memory_grows_lazily():
+    machine = Machine(assemble(".proc main\n    halt\n.endproc"))
+    machine.load_memory([1, 2, 3], base=10)
+    assert len(machine.state.memory) == 13
+    assert machine.state.memory[10:13] == [1, 2, 3]
+
+
+def test_memory_cap_still_enforced_despite_laziness():
+    source = """
+.proc main
+    li r1, 20
+    st r0, r1, 0
+    halt
+.endproc
+"""
+    machine = Machine(assemble(source), memory_words=16)
+    with pytest.raises(MachineError):
+        list(machine.run())
+    capped = Machine(assemble(source), memory_words=16)
+    with pytest.raises(MachineError):
+        capped.load_memory([0] * 20)
+
+
+def test_memory_growth_is_in_place():
+    """run() holds a direct reference; growth must never rebind the list."""
+    source = """
+.proc main
+    li r1, 50
+    st r1, r1, 0
+    ld r2, r1, 0
+    out r2
+    halt
+.endproc
+"""
+    machine = Machine(assemble(source))
+    backing = machine.state.memory
+    list(machine.run())
+    assert machine.state.memory is backing
+    assert machine.state.output == [50]

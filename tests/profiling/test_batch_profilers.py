@@ -1,0 +1,119 @@
+"""Every profiler's batch path must equal its scalar path exactly.
+
+``compare_schemes`` and the §4 cost tables are only trustworthy if the
+vectorized ``observe_batch`` implementations produce byte-for-byte the
+reports the scalar ``observe`` loop does — same frequencies, same
+counter space, same operation counts — for any chunking of the stream,
+and even when scalar and columnar consumption are mixed mid-stream.
+"""
+
+import pytest
+
+from repro.cfg import generate_program, procedure_loops
+from repro.profiling import (
+    BallLarusProfiler,
+    BitTracingProfiler,
+    BlockProfiler,
+    EdgeProfiler,
+    KBoundedPathProfiler,
+    compare_schemes,
+)
+from repro.profiling.overhead import HeadCounterProfiler
+from repro.trace import (
+    CFGWalker,
+    EventBatch,
+    RandomOracle,
+    TripCountOracle,
+)
+
+PROFILER_FACTORIES = {
+    "bit-tracing": lambda program: BitTracingProfiler(program),
+    "bit-tracing-short": lambda program: BitTracingProfiler(
+        program, max_blocks=7
+    ),
+    "ball-larus": lambda program: BallLarusProfiler(program),
+    "kpaths-inter": lambda program: KBoundedPathProfiler(k=8),
+    "kpaths-intra": lambda program: KBoundedPathProfiler(
+        k=3, intraprocedural=True
+    ),
+    "edge": lambda program: EdgeProfiler(),
+    "block": lambda program: BlockProfiler(
+        entry_uid=program.entry_block.uid
+    ),
+    "net-heads": lambda program: HeadCounterProfiler(),
+}
+
+
+def _events(seed=11, trips=8):
+    program = generate_program(seed=seed, num_procedures=3)
+    trip_counts = {}
+    for name in program.procedures:
+        for header in procedure_loops(program, name).headers:
+            trip_counts[header] = trips
+    oracle = TripCountOracle(RandomOracle(3, default_bias=0.5), trip_counts)
+    return program, list(CFGWalker(program, oracle).walk(500_000))
+
+
+def _chunks(batch, size):
+    return [
+        batch.slice(start, start + size)
+        for start in range(0, len(batch), size)
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _events()
+
+
+@pytest.mark.parametrize("name", sorted(PROFILER_FACTORIES))
+def test_batch_reports_equal_scalar_reports(name, stream):
+    program, events = stream
+    factory = PROFILER_FACTORIES[name]
+    scalar = factory(program).run(iter(events))
+
+    batch = EventBatch.from_events(events)
+    assert factory(program).run(batch) == scalar
+    assert factory(program).run(iter(_chunks(batch, 613))) == scalar
+    assert factory(program).run(iter(_chunks(batch, 3))) == scalar
+
+
+@pytest.mark.parametrize("name", sorted(PROFILER_FACTORIES))
+def test_mixed_scalar_and_batch_consumption(name, stream):
+    program, events = stream
+    factory = PROFILER_FACTORIES[name]
+    scalar = factory(program).run(iter(events))
+    split = len(events) // 3
+
+    # Scalar prefix, then the remainder as one batch.
+    mixed = factory(program)
+    for event in events[:split]:
+        mixed.observe(event)
+    mixed.observe_batch(EventBatch.from_events(events[split:]))
+    assert mixed.report() == scalar
+
+    # Batch prefix, then the remainder event by event.
+    mixed = factory(program)
+    mixed.observe_batch(EventBatch.from_events(events[:split]))
+    for event in events[split:]:
+        mixed.observe(event)
+    assert mixed.report() == scalar
+
+
+def test_compare_schemes_rows_identical_across_representations(stream):
+    program, events = stream
+    from_list = compare_schemes(program, events)
+    batch = EventBatch.from_events(events)
+    assert compare_schemes(program, batch) == from_list
+    assert compare_schemes(program, _chunks(batch, 919)) == from_list
+
+
+def test_bit_tracing_batch_ignores_events_after_halt(stream):
+    program, events = stream
+    scalar = BitTracingProfiler(program).run(iter(events))
+    batch = EventBatch.from_events(events)
+    profiler = BitTracingProfiler(program)
+    profiler.observe_batch(batch)
+    # The stream halted; later batches must not change the profile.
+    profiler.observe_batch(batch.slice(0, 5))
+    assert profiler.report() == scalar

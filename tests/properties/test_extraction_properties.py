@@ -6,6 +6,7 @@ extractor must (a) partition every executed block into exactly one path,
 (c) produce signatures that agree with the bit-tracing profiler.
 """
 
+import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -13,9 +14,11 @@ from repro.cfg import GeneratorParams, generate_program, procedure_loops
 from repro.profiling import BitTracingProfiler
 from repro.trace import (
     CFGWalker,
+    EventBatch,
     RandomOracle,
     TripCountOracle,
     extract_paths,
+    record_path_trace,
 )
 
 _settings = settings(
@@ -93,6 +96,33 @@ def test_bit_tracing_equals_extractor_frequencies(
         frequencies[signature] = frequencies.get(signature, 0) + 1
     report = BitTracingProfiler(program).run(iter(events))
     assert report.frequencies == frequencies
+
+
+@given(
+    program_seed=st.integers(0, 200),
+    oracle_seed=st.integers(0, 1000),
+    trips=st.integers(0, 8),
+    chunk=st.integers(1, 200),
+)
+@_settings
+def test_batched_extraction_partitions_block_entries(
+    program_seed, oracle_seed, trips, chunk
+):
+    """The columnar extractor obeys the same partition invariant as the
+    scalar one for any chunking of the stream: every executed block
+    lands in exactly one path."""
+    program, events = _bounded_events(program_seed, oracle_seed, trips)
+    batch = EventBatch.from_events(events)
+    chunks = [
+        batch.slice(start, start + chunk)
+        for start in range(0, len(batch), chunk)
+    ]
+    trace = record_path_trace(program, iter(chunks))
+    block_entries = 1 + int(np.count_nonzero(batch.dst != -1))
+    total_path_blocks = int(trace.blocks_per_path()[trace.path_ids].sum())
+    assert total_path_blocks == block_entries
+    scalar = record_path_trace(program, iter(events))
+    assert np.array_equal(trace.path_ids, scalar.path_ids)
 
 
 @given(

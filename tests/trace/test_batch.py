@@ -1,0 +1,194 @@
+"""Columnar event batches: bridges, validation, batched producers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cfg import GeneratorParams, generate_program, procedure_loops
+from repro.errors import MachineError, MachineLimitExceeded, TraceError
+from repro.isa import Machine, assemble
+from repro.isa.programs import rle
+from repro.obs import Registry
+from repro.trace import (
+    BlockRandomOracle,
+    CFGWalker,
+    EventBatch,
+    EventBatchBuilder,
+    RandomOracle,
+    TripCountOracle,
+)
+from repro.trace.events import HALT_DST
+
+
+def _bounded_walker(program_seed=3, oracle_seed=7, trips=4):
+    params = GeneratorParams(max_depth=2, max_elements=3)
+    program = generate_program(
+        seed=program_seed, num_procedures=2, params=params
+    )
+    trip_counts = {}
+    for name in program.procedures:
+        for header in procedure_loops(program, name).headers:
+            trip_counts[header] = trips
+    oracle = TripCountOracle(
+        RandomOracle(oracle_seed, default_bias=0.5), trip_counts
+    )
+    return program, CFGWalker(program, oracle)
+
+
+def _batch_events(batches):
+    return list(itertools.chain.from_iterable(batches))
+
+
+# ----------------------------------------------------------------------
+# EventBatch container
+# ----------------------------------------------------------------------
+def test_round_trip_is_lossless():
+    _, walker = _bounded_walker()
+    events = list(walker.walk(100_000))
+    batch = EventBatch.from_events(events)
+    assert batch.to_events() == events
+    assert len(batch) == len(events)
+
+
+def test_columns_must_be_one_dimensional():
+    with pytest.raises(TraceError, match="must be 1-D"):
+        EventBatch(np.zeros((2, 2), np.int64), [0, 0], [0, 0], [False, False])
+
+
+def test_columns_must_align():
+    with pytest.raises(TraceError, match="entries"):
+        EventBatch([0, 1], [1], [0, 0], [False, False])
+
+
+def test_unknown_kind_code_rejected():
+    with pytest.raises(TraceError, match="unknown kind code"):
+        EventBatch([0], [1], [7], [False])
+
+
+def test_concat_slice_empty():
+    a = EventBatch([0, 1], [1, 2], [0, 1], [False, True])
+    b = EventBatch([2], [0], [3], [True])
+    joined = EventBatch.concat([a, EventBatch.empty(), b])
+    assert len(joined) == 3
+    assert joined.slice(0, 2) == a
+    assert joined.slice(2, 3) == b
+    assert EventBatch.concat([]) == EventBatch.empty()
+    assert len(EventBatch.empty()) == 0
+    assert joined.nbytes > 0
+
+
+def test_builder_resets_after_build():
+    builder = EventBatchBuilder()
+    builder.append(0, 1, 0, False)
+    builder.append(1, 2, 1, False)
+    first = builder.build()
+    assert len(first) == 2
+    assert len(builder) == 0
+    builder.append(2, 0, 3, True)
+    second = builder.build()
+    assert len(second) == 1
+    assert int(second.src[0]) == 2
+
+
+# ----------------------------------------------------------------------
+# Batched CFG walking
+# ----------------------------------------------------------------------
+def test_walk_batched_matches_walk():
+    _, scalar_walker = _bounded_walker()
+    _, batched_walker = _bounded_walker()
+    events = list(scalar_walker.walk(100_000))
+    batches = list(batched_walker.walk_batched(max_events=100_000))
+    assert _batch_events(batches) == events
+    assert batches[-1].dst[-1] == HALT_DST
+
+
+def test_walk_batched_respects_batch_size():
+    _, walker = _bounded_walker()
+    batches = list(
+        walker.walk_batched(max_events=100_000, batch_size=8)
+    )
+    assert all(len(batch) <= 8 for batch in batches)
+    assert all(len(batch) == 8 for batch in batches[:-1])
+
+
+def test_walk_batched_rejects_bad_batch_size(fig1_program):
+    walker = CFGWalker(fig1_program, RandomOracle(0))
+    with pytest.raises(TraceError, match="batch_size"):
+        list(walker.walk_batched(batch_size=0))
+
+
+def test_walk_batched_truncate_matches_islice(fig1_program):
+    scalar = CFGWalker(fig1_program, RandomOracle(0, default_bias=1.0))
+    batched = CFGWalker(fig1_program, RandomOracle(0, default_bias=1.0))
+    events = list(itertools.islice(scalar.walk(), 50))
+    batches = list(batched.walk_batched(max_events=50, truncate=True))
+    assert _batch_events(batches) == events
+
+
+def test_walk_batched_budget_raises_like_walk(fig1_program):
+    walker = CFGWalker(fig1_program, RandomOracle(0, default_bias=1.0))
+    with pytest.raises(MachineLimitExceeded):
+        list(walker.walk_batched(max_events=50))
+
+
+def test_walk_batched_publishes_tracegen_instruments():
+    _, walker = _bounded_walker()
+    registry = Registry()
+    batches = list(walker.walk_batched(max_events=100_000, obs=registry))
+    counters = registry.snapshot()["counters"]
+    assert counters["tracegen.events"] == sum(len(b) for b in batches)
+    assert counters["tracegen.batches"] == len(batches)
+
+
+def test_block_random_oracle_self_consistent():
+    program, _ = _bounded_walker()
+    scalar = CFGWalker(program, BlockRandomOracle(17, default_bias=0.6))
+    batched = CFGWalker(program, BlockRandomOracle(17, default_bias=0.6))
+    events = list(scalar.walk(100_000))
+    batches = list(batched.walk_batched(max_events=100_000))
+    assert _batch_events(batches) == events
+
+
+def test_block_random_oracle_rejects_bad_block_size():
+    with pytest.raises(TraceError, match="block_size"):
+        BlockRandomOracle(0, block_size=0)
+
+
+# ----------------------------------------------------------------------
+# Batched ISA machine
+# ----------------------------------------------------------------------
+def test_run_batched_matches_run():
+    memory = rle.make_memory(seed=0, size=200)
+    scalar = Machine(rle.build())
+    scalar.load_memory(memory)
+    events = list(scalar.run())
+
+    batched = Machine(rle.build())
+    batched.load_memory(memory)
+    batches = list(batched.run_batched(batch_size=997))
+    assert _batch_events(batches) == events
+    assert batched.state.output == scalar.state.output
+
+
+def test_run_batched_budget_raises_like_run():
+    program = assemble(".proc main\nloop:\n    jmp loop\n.endproc")
+    with pytest.raises(MachineLimitExceeded):
+        list(Machine(program).run_batched(max_steps=100))
+
+
+def test_run_batched_rejects_bad_batch_size():
+    program = assemble(".proc main\n    halt\n.endproc")
+    with pytest.raises(MachineError, match="batch_size"):
+        list(Machine(program).run_batched(batch_size=0))
+
+
+def test_run_batched_publishes_tracegen_instruments():
+    memory = rle.make_memory(seed=1, size=80)
+    machine = Machine(rle.build())
+    machine.load_memory(memory)
+    registry = Registry()
+    batches = list(machine.run_batched(obs=registry))
+    counters = registry.snapshot()["counters"]
+    assert counters["tracegen.events"] == sum(len(b) for b in batches)
+    assert counters["tracegen.batches"] == len(batches)

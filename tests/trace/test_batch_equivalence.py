@@ -1,0 +1,146 @@
+"""Batched extraction must be digest-identical to the scalar extractor.
+
+The columnar pipeline (``EventBatch`` → ``find_cuts`` → segment memo)
+re-derives the paper's §3 segmentation; these tests pin it to the
+scalar reference on every bundled ISA program and on generated CFG
+workloads, across chunk boundaries and every ``max_blocks`` regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cfg import generate_program, procedure_loops
+from repro.errors import TraceError
+from repro.experiments.engine.cache import trace_digest
+from repro.isa import run_to_completion
+from repro.isa.programs import (
+    hashtable,
+    lexer,
+    matmul,
+    propagate,
+    rle,
+    sort,
+    stackvm,
+)
+from repro.trace import (
+    CFGWalker,
+    EventBatch,
+    PathExtractor,
+    RandomOracle,
+    TripCountOracle,
+    record_path_trace,
+)
+
+#: Every bundled ISA program with a small input (name, assembled, memory).
+ISA_RUNS = [
+    ("rle", rle, lambda m: m.make_memory(seed=5, size=200)),
+    ("stackvm", stackvm, lambda m: m.make_memory(m.sum_program(60))),
+    ("sort", sort, lambda m: m.make_memory(seed=5, size=60)),
+    ("matmul", matmul, lambda m: m.make_memory(seed=5)),
+    ("propagate", propagate, lambda m: m.make_memory(seed=5)),
+    ("hashtable", hashtable, lambda m: m.make_memory(seed=5)),
+    ("lexer", lexer, lambda m: m.make_memory(seed=5)),
+]
+
+
+def _chunks(batch: EventBatch, size: int) -> list[EventBatch]:
+    return [
+        batch.slice(start, start + size)
+        for start in range(0, len(batch), size)
+    ]
+
+
+def _cfg_events(seed=19, trips=9):
+    program = generate_program(seed=seed, num_procedures=3)
+    trip_counts = {}
+    for name in program.procedures:
+        for header in procedure_loops(program, name).headers:
+            trip_counts[header] = trips
+    oracle = TripCountOracle(RandomOracle(7, default_bias=0.5), trip_counts)
+    return program, list(CFGWalker(program, oracle).walk(500_000))
+
+
+@pytest.mark.parametrize(
+    "name,module,make_memory", ISA_RUNS, ids=[r[0] for r in ISA_RUNS]
+)
+def test_isa_programs_extract_digest_identically(name, module, make_memory):
+    assembled = module.build()
+    events, _ = run_to_completion(assembled, make_memory(module))
+    program = assembled.cfg
+
+    scalar = record_path_trace(program, iter(events))
+    batch = EventBatch.from_events(events)
+    whole = record_path_trace(program, batch)
+    chunked = record_path_trace(program, iter(_chunks(batch, 777)))
+
+    assert trace_digest(whole) == trace_digest(scalar)
+    assert trace_digest(chunked) == trace_digest(scalar)
+
+
+@pytest.mark.parametrize(
+    "name,module,make_memory", ISA_RUNS, ids=[r[0] for r in ISA_RUNS]
+)
+def test_isa_batched_paths_partition_block_entries(
+    name, module, make_memory
+):
+    assembled = module.build()
+    events, _ = run_to_completion(assembled, make_memory(module))
+    program = assembled.cfg
+    batch = EventBatch.from_events(events)
+    trace = record_path_trace(program, iter(_chunks(batch, 509)))
+    block_entries = 1 + int(np.count_nonzero(batch.dst != -1))
+    total_path_blocks = int(trace.blocks_per_path()[trace.path_ids].sum())
+    assert total_path_blocks == block_entries
+
+
+@pytest.mark.parametrize("max_blocks", [256, 7, 1, None])
+def test_generated_cfg_extraction_agrees_per_max_blocks(max_blocks):
+    program, events = _cfg_events()
+    scalar = record_path_trace(
+        program, iter(events), max_blocks=max_blocks
+    )
+    batch = EventBatch.from_events(events)
+    chunked = record_path_trace(
+        program, iter(_chunks(batch, 97)), max_blocks=max_blocks
+    )
+    assert trace_digest(chunked) == trace_digest(scalar)
+
+
+def test_empty_stream_yields_single_entry_path(fig1_program):
+    scalar = record_path_trace(fig1_program, iter([]))
+    batched = record_path_trace(fig1_program, EventBatch.empty())
+    assert scalar.flow == batched.flow == 1
+    assert trace_digest(batched) == trace_digest(scalar)
+    (path,) = list(batched.table)
+    assert path.blocks == (fig1_program.entry_block.uid,)
+
+
+def test_batch_continuity_validated_at_stream_head(fig1_program):
+    extractor = PathExtractor(fig1_program)
+    wrong_head = EventBatch([99], [1], [0], [False])
+    with pytest.raises(TraceError, match="does not match current block"):
+        extractor.extract_batch_ids(wrong_head)
+
+
+def test_batch_continuity_validated_mid_batch(fig1_program):
+    walker = CFGWalker(fig1_program, RandomOracle(0, default_bias=0.5))
+    batch = EventBatch.from_events(walker.walk(10_000))
+    src = batch.src.copy()
+    src[2] = 99  # break the src/dst chain
+    broken = EventBatch(src, batch.dst, batch.kind, batch.backward)
+    with pytest.raises(TraceError, match="does not match current block"):
+        PathExtractor(fig1_program).extract_batch_ids(broken)
+
+
+def test_extract_batch_occurrences_match_scalar(fig1_program):
+    walker = CFGWalker(fig1_program, RandomOracle(4, default_bias=0.5))
+    events = list(walker.walk(10_000))
+    scalar = PathExtractor(fig1_program)
+    scalar_occurrences = list(scalar.extract(iter(events)))
+    batched = PathExtractor(fig1_program)
+    batch_occurrences = batched.extract_batch(
+        EventBatch.from_events(events)
+    )
+    assert [
+        (o.path_id, o.index) for o in batch_occurrences
+    ] == [(o.path_id, o.index) for o in scalar_occurrences]

@@ -61,11 +61,46 @@ def test_trip_count_rejects_negative():
         TripCountOracle(RandomOracle(0), {1: -1})
 
 
+def test_trip_count_counter_resets_on_reentry(fig1_program):
+    """After a loop exits, re-entering it gets the full trip count again."""
+    header = fig1_program.procedures["main"].block("D")
+    oracle = TripCountOracle(RandomOracle(0), {header.uid: 2})
+    decisions = [oracle.decide_cond(header) for _ in range(6)]
+    assert decisions == [True, True, False, True, True, False]
+
+
+def test_trip_count_zero_trips_exits_immediately(fig1_program):
+    header = fig1_program.procedures["main"].block("D")
+    oracle = TripCountOracle(RandomOracle(0), {header.uid: 0})
+    assert [oracle.decide_cond(header) for _ in range(3)] == [False] * 3
+
+
 def test_scripted_oracle_type_checks(fig1_program):
     with pytest.raises(TraceError):
         list(CFGWalker(fig1_program, ScriptedOracle([1])).walk(100))
     with pytest.raises(TraceError):  # runs out of decisions
         list(CFGWalker(fig1_program, ScriptedOracle([True])).walk(100))
+
+
+def test_scripted_oracle_exhaustion_message(fig1_program):
+    block = fig1_program.procedures["main"].block("A")
+    oracle = ScriptedOracle([])
+    with pytest.raises(TraceError, match="ran out of decisions"):
+        oracle.decide_cond(block)
+    with pytest.raises(TraceError, match="ran out of decisions"):
+        ScriptedOracle([]).decide_multiway(block, 2)
+
+
+def test_scripted_oracle_multiway_type_and_range_errors(fig1_program):
+    block = fig1_program.procedures["main"].block("A")
+    with pytest.raises(TraceError, match="expected an integer"):
+        ScriptedOracle([True]).decide_multiway(block, 3)
+    with pytest.raises(TraceError, match="out of range"):
+        ScriptedOracle([5]).decide_multiway(block, 3)
+    with pytest.raises(TraceError, match="out of range"):
+        ScriptedOracle([-1]).decide_multiway(block, 3)
+    with pytest.raises(TraceError, match="expected a boolean"):
+        ScriptedOracle([2]).decide_cond(block)
 
 
 def test_random_oracle_determinism(fig1_program):
