@@ -14,6 +14,13 @@ Commands
     Dynamo simulation cells for one benchmark.
 ``save-trace BENCH FILE`` / ``trace-info FILE``
     Persist a benchmark trace / summarize a saved trace file.
+``serve``
+    Run the multi-tenant hot-path prediction server over TCP
+    (see ``docs/serving.md``).
+``loadtest``
+    Replay the generated workload corpus as many interleaved tenant
+    streams against an in-process server and report throughput and
+    ingest latency percentiles.
 
 Observability: the work-running commands accept ``--metrics-json PATH``
 to collect metrics (phases, counters, timers, cache statistics — see
@@ -43,6 +50,15 @@ from repro.experiments.report import render_table
 from repro.metrics import counter_space, hot_path_set
 from repro.obs import Registry, RunRecorder, get_registry, render_summary
 from repro.resilience import DEFAULT_POLICY, RetryPolicy
+from repro.serving import (
+    LoadgenConfig,
+    PredictionServer,
+    ServerConfig,
+    ServingTCPServer,
+    build_corpus,
+    render_report,
+    run_load,
+)
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import summarize
 from repro.workloads import BENCHMARK_ORDER, load_benchmark
@@ -255,6 +271,62 @@ def _cmd_save_trace(args: argparse.Namespace) -> int:
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     trace = load_trace(args.file)
     print(summarize(trace).render())
+    return 0
+
+
+def _server_config(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        num_shards=args.shards,
+        delay=args.delay,
+        max_queued_events=args.max_queued_events,
+        memory_budget_bytes=args.memory_budget,
+        retry_after_seconds=args.retry_after,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    corpus = build_corpus(
+        LoadgenConfig(
+            num_streams=args.streams,
+            events_per_tenant=args.events,
+            seed=args.seed,
+        )
+    )
+    programs = {stream.name: stream.program for stream in corpus}
+    prediction = PredictionServer(_server_config(args))
+    server = ServingTCPServer((args.host, args.port), prediction, programs)
+    print(
+        f"serving on {args.host}:{server.port} "
+        f"({len(programs)} registered programs: "
+        f"{', '.join(sorted(programs))})"
+    )
+    try:
+        server.serve_forever(poll_interval=0.5)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    registry = _metrics_registry(args)
+    recorder = _run_recorder(args)
+    obs = get_registry(registry)
+    config = LoadgenConfig(
+        num_tenants=args.tenants,
+        num_streams=args.streams,
+        events_per_tenant=args.events,
+        batch_events=args.batch_events,
+        workers=args.workers,
+        wire=not args.no_wire,
+        seed=args.seed,
+        server=_server_config(args),
+    )
+    with obs.phase("loadtest"):
+        report = run_load(config, obs=registry)
+    print(render_report(report))
+    _finish_metrics(args, registry, recorder)
     return 0
 
 
@@ -472,6 +544,104 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("trace-info", help="summarize a saved trace")
     info.add_argument("file")
     info.set_defaults(handler=_cmd_trace_info)
+
+    def add_server_flags(p):
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=8,
+            help="predictor-state shards (default 8)",
+        )
+        p.add_argument(
+            "--delay",
+            type=int,
+            default=50,
+            help="NET prediction delay tau (default 50)",
+        )
+        p.add_argument(
+            "--max-queued-events",
+            type=int,
+            default=1 << 16,
+            metavar="N",
+            help=(
+                "per-tenant admitted-but-unapplied event bound before "
+                "backpressure (default 65536)"
+            ),
+        )
+        p.add_argument(
+            "--memory-budget",
+            type=int,
+            default=None,
+            metavar="BYTES",
+            help=(
+                "global predictor-state byte budget; idle tenants are "
+                "evicted LRU-first above it (default: unlimited)"
+            ),
+        )
+        p.add_argument(
+            "--retry-after",
+            type=float,
+            default=0.05,
+            metavar="SECONDS",
+            help="retry hint attached to backpressure rejections",
+        )
+        p.add_argument(
+            "--streams",
+            type=int,
+            default=4,
+            help="distinct generated workload streams (default 4)",
+        )
+        p.add_argument(
+            "--events",
+            type=int,
+            default=2_000,
+            help="events per stream (default 2000)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=7,
+            help="corpus generation seed (default 7)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant prediction server over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    add_server_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay interleaved tenant streams against the server",
+    )
+    loadtest.add_argument(
+        "--tenants",
+        type=int,
+        default=200,
+        help="concurrent tenants to replay (default 200)",
+    )
+    loadtest.add_argument(
+        "--batch-events",
+        type=int,
+        default=256,
+        help="events per ingest batch (default 256)",
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="client threads driving the replay (default 4)",
+    )
+    loadtest.add_argument(
+        "--no-wire",
+        action="store_true",
+        help="skip wire encode/decode and hand batches in-process",
+    )
+    add_server_flags(loadtest)
+    add_metrics_flags(loadtest)
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     return parser
 

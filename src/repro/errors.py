@@ -60,6 +60,18 @@ class TraceError(ReproError):
     """A branch-event stream violated the trace invariants."""
 
 
+class WireFormatError(TraceError):
+    """A serialized :class:`~repro.trace.batch.EventBatch` payload is
+    malformed.
+
+    Raised by :mod:`repro.serving.wire` for truncated buffers, bad
+    magic, unsupported format versions, and column values outside their
+    domain.  A :class:`TraceError` subclass because the wire format is a
+    trace representation: callers catching trace-stream problems catch
+    wire problems too.
+    """
+
+
 class ProfilingError(ReproError):
     """A profiling scheme was misused or fed inconsistent data."""
 
@@ -140,6 +152,37 @@ class BatchTimeoutError(SweepExecutionError):
             benchmark=benchmark,
             batch_index=batch_index,
             attempts=attempts,
+        )
+
+
+class ServingError(ReproError):
+    """The prediction server was misused or reached an invalid state."""
+
+
+class BackpressureError(ServingError):
+    """A tenant's bounded ingest queue is full; the caller should retry.
+
+    The server rejects rather than buffers: ``retry_after_seconds`` is
+    the server's hint for when capacity is likely to be available, and
+    ``queued_events``/``capacity`` describe the queue at rejection time
+    so clients and load generators can adapt their pacing.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        queued_events: int,
+        capacity: int,
+        retry_after_seconds: float,
+    ):
+        self.tenant_id = tenant_id
+        self.queued_events = queued_events
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"tenant {tenant_id!r} ingest queue full "
+            f"({queued_events}/{capacity} events queued); "
+            f"retry after {retry_after_seconds:.3f}s"
         )
 
 

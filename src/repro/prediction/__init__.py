@@ -22,11 +22,13 @@ from repro.prediction.boa import BoaPredictor
 from repro.prediction.first_execution import FirstExecutionPredictor
 from repro.prediction.net import NETPredictor
 from repro.prediction.path_profile import PathProfilePredictor
+from repro.prediction.streaming import NETSession
 
 __all__ = [
     "BoaPredictor",
     "FirstExecutionPredictor",
     "NETPredictor",
+    "NETSession",
     "OnlinePredictor",
     "PathProfilePredictor",
     "PredictionOutcome",

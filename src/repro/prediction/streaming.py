@@ -1,0 +1,168 @@
+"""Incremental NET prediction over a live occurrence stream.
+
+:class:`~repro.prediction.net.NETPredictor` replays a complete
+:class:`~repro.trace.recorder.PathTrace` in one vectorized pass — the
+right shape for sweeps, and the wrong one for a server that watches a
+program *while it executes*.  :class:`NETSession` is the online form:
+it consumes path occurrences one at a time as the extractor completes
+them, bumps head counters on backward arrivals, and announces a hot-path
+selection the moment a tail first executes from a hot head.
+
+The session implements the paper's region model
+(``retire_heads=False``): once a head's counter exceeds the prediction
+delay τ, every distinct tail subsequently executing from it is selected
+at its first post-hot execution and counted as captured from then on.
+Determinism is the point — after any prefix of a stream, the session's
+state is a pure function of the occurrences seen so far, and after the
+*whole* stream its :meth:`outcome` is byte-identical to
+``NETPredictor(delay).run(trace)`` over the materialized trace.  That
+identity is what the serving property tests lean on to prove tenant
+isolation, and it is pinned directly by the streaming equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import PredictionOutcome
+
+
+class NETSession:
+    """Streaming NET state for one program execution (one tenant).
+
+    Parameters
+    ----------
+    delay:
+        The prediction delay τ; a head turns hot at its (τ+1)-th counted
+        arrival, and the occurrence that makes it hot is itself eligible
+        for selection (matching ``NETPredictor``'s accounting).
+    count_backward_arrivals_only:
+        When True (default, matching Dynamo) only arrivals via a
+        backward taken branch bump the head counter.
+    """
+
+    __slots__ = (
+        "delay",
+        "count_backward_arrivals_only",
+        "_counters",
+        "_captured",
+        "_predicted",
+        "_times",
+        "_flow",
+        "_prev_ends_backward",
+        "_increments",
+        "_collection_blocks",
+    )
+
+    def __init__(
+        self, delay: int, count_backward_arrivals_only: bool = True
+    ):
+        if delay < 0:
+            raise PredictionError(
+                f"delay must be non-negative, got {delay}"
+            )
+        self.delay = int(delay)
+        self.count_backward_arrivals_only = count_backward_arrivals_only
+        #: head uid -> counted arrivals so far (created on first count).
+        self._counters: dict[int, int] = {}
+        #: path id -> post-hot executions (created at selection time).
+        self._captured: dict[int, int] = {}
+        self._predicted: list[int] = []
+        self._times: list[int] = []
+        self._flow = 0
+        self._prev_ends_backward = False
+        self._increments = 0
+        self._collection_blocks = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        path_id: int,
+        head_uid: int,
+        ends_backward: bool,
+        num_blocks: int,
+    ) -> bool:
+        """Feed one path occurrence; True if it triggered a selection.
+
+        ``head_uid``/``ends_backward``/``num_blocks`` are the occurring
+        path's static attributes (the stream equivalent of the trace's
+        per-path columns).  An occurrence arrives via a backward taken
+        branch exactly when the *previous* occurrence's path ended with
+        one — the session tracks that bit itself, so callers only
+        describe the current path.
+        """
+        index = self._flow
+        self._flow = index + 1
+
+        counted = (
+            self._prev_ends_backward
+            if self.count_backward_arrivals_only
+            else True
+        )
+        self._prev_ends_backward = ends_backward
+
+        counters = self._counters
+        if counted:
+            count = counters.get(head_uid, 0) + 1
+            counters[head_uid] = count
+            if count <= self.delay + 1:
+                self._increments += 1
+
+        # Hot exactly when the head has accumulated > τ counted
+        # arrivals by this occurrence — the streaming restatement of
+        # ``index >= hot_time[head]``.
+        if counters.get(head_uid, 0) <= self.delay:
+            return False
+
+        captured = self._captured.get(path_id)
+        if captured is None:
+            self._captured[path_id] = 1
+            self._predicted.append(path_id)
+            self._times.append(index)
+            self._collection_blocks += num_blocks
+            return True
+        self._captured[path_id] = captured + 1
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def flow(self) -> int:
+        """Occurrences observed so far."""
+        return self._flow
+
+    @property
+    def num_predictions(self) -> int:
+        """Hot-path selections announced so far."""
+        return len(self._predicted)
+
+    @property
+    def counter_space(self) -> int:
+        """Head counters allocated so far (paper §5.2 space measure)."""
+        return len(self._counters)
+
+    @property
+    def profiling_ops(self) -> int:
+        """Dynamic profiling operations so far (paper §4 cost measure)."""
+        return self._increments + self._collection_blocks
+
+    def outcome(self, scheme: str = "net") -> PredictionOutcome:
+        """The session's state as a :class:`PredictionOutcome`.
+
+        After a complete stream this equals (array for array, field for
+        field) what ``NETPredictor(delay, count_backward_arrivals_only)``
+        returns for the materialized trace.
+        """
+        predicted = np.asarray(self._predicted, dtype=np.int64)
+        return PredictionOutcome(
+            scheme=scheme,
+            delay=self.delay,
+            predicted_ids=predicted,
+            prediction_times=np.asarray(self._times, dtype=np.int64),
+            captured=np.asarray(
+                [self._captured[int(p)] for p in self._predicted],
+                dtype=np.int64,
+            ),
+            counter_space=self.counter_space,
+            profiling_ops=self.profiling_ops,
+        )

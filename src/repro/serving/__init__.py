@@ -1,0 +1,80 @@
+"""Multi-tenant online hot-path prediction serving.
+
+The paper's predictor runs *inside* one program; this package runs it
+*as a service* for many programs at once.  Each tenant (one running
+program) streams wire-encoded event batches at a
+:class:`PredictionServer`, which shards per-tenant NET predictor state
+across locks, answers every batch with the hot-path selections it
+triggered, pushes back explicitly when a tenant's bounded ingest queue
+fills, and evicts idle predictor state LRU-first when the fleet exceeds
+its memory budget — the "less is more" counter-space economy applied at
+fleet scale.
+
+Layers, bottom up:
+
+- :mod:`repro.serving.wire` — the EventBatch network format.
+- :mod:`repro.serving.session` — one tenant's streaming
+  extraction + NET pipeline and its memory meter.
+- :mod:`repro.serving.server` — sharded multi-tenant coordination:
+  admission, backpressure, FIFO turnstiles, budget eviction.
+- :mod:`repro.serving.transport` — a thin TCP request/reply skin.
+- :mod:`repro.serving.loadgen` — the replay load generator driving
+  hundreds of interleaved tenant streams for benchmarks and tests.
+"""
+
+from repro.serving.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    TenantStream,
+    build_corpus,
+    build_stream,
+    render_report,
+    run_load,
+    standalone_outcome,
+)
+from repro.serving.server import (
+    IngestResult,
+    PredictionServer,
+    ServerConfig,
+    TenantReport,
+)
+from repro.serving.session import HotPathSelection, TenantSession
+from repro.serving.transport import (
+    ServingClient,
+    ServingTCPServer,
+    start_background,
+)
+from repro.serving.wire import (
+    BYTES_PER_EVENT,
+    HEADER_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    decode_batch,
+    encode_batch,
+)
+
+__all__ = [
+    "BYTES_PER_EVENT",
+    "HEADER_BYTES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "HotPathSelection",
+    "IngestResult",
+    "LoadReport",
+    "LoadgenConfig",
+    "PredictionServer",
+    "ServerConfig",
+    "ServingClient",
+    "ServingTCPServer",
+    "TenantReport",
+    "TenantSession",
+    "TenantStream",
+    "build_corpus",
+    "build_stream",
+    "decode_batch",
+    "encode_batch",
+    "render_report",
+    "run_load",
+    "standalone_outcome",
+    "start_background",
+]

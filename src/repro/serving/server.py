@@ -1,0 +1,516 @@
+"""The multi-tenant online hot-path prediction server.
+
+:class:`PredictionServer` accepts columnar event batches (either
+:class:`~repro.trace.batch.EventBatch` objects or their wire encoding)
+from many concurrent tenants and answers each ingest with the
+:class:`~repro.serving.session.HotPathSelection` records that batch
+triggered.  One tenant is one running program; its predictor state is a
+private :class:`~repro.serving.session.TenantSession`.
+
+Concurrency model
+-----------------
+Tenants are hashed onto a fixed set of *shards*.  Each shard has two
+locks with distinct jobs:
+
+* an **admission condition** guarding the shard's bookkeeping (tenant
+  map, queue depths, LRU clock).  Admission is cheap and never blocks
+  on predictor work, so backpressure decisions stay responsive while
+  batches are being applied;
+* a **state lock** held while applying a batch to any session in the
+  shard — the per-shard predictor-state lock of the design.
+
+A per-tenant *turnstile* (monotonic ticket/turn counters under the
+admission condition) serializes one tenant's batches in admission
+order, so a tenant's stream is applied strictly in sequence even when
+several transport threads carry it.
+
+Backpressure
+------------
+Each tenant's ingest queue — events admitted but not yet applied — is
+bounded.  A batch that would overflow it is *rejected* with
+:class:`~repro.errors.BackpressureError` carrying a retry-after hint;
+the server never buffers unboundedly on behalf of a slow consumer.
+
+Memory budget
+-------------
+Sessions meter their predictor-state bytes (head counters, interned
+paths, segment memo).  When a shard's share of the configured budget is
+exceeded, idle tenants are evicted in LRU order: their session is
+dropped (the counters are exactly the cheap, reconstructible state the
+paper's Table 2 argues NET keeps small) and a later batch readmits them
+with a fresh session that re-warms.  Tenants with queued or in-flight
+work are never evicted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.cfg.program import Program
+from repro.errors import BackpressureError, ServingError
+from repro.obs.core import Registry, get_registry
+from repro.prediction.base import PredictionOutcome
+from repro.serving.session import HotPathSelection, TenantSession
+from repro.serving.wire import decode_batch
+from repro.trace.batch import EventBatch
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of one :class:`PredictionServer`.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of independent shards tenants are hashed onto.
+    delay:
+        NET prediction delay τ applied to every tenant.
+    max_blocks:
+        Per-path block cap handed to each tenant's extractor.
+    max_queued_events:
+        Per-tenant ingest-queue bound, in events (admitted but not yet
+        applied).  Ingests beyond it are rejected with backpressure.
+    memory_budget_bytes:
+        Server-wide predictor-state budget; each shard enforces its
+        ``1/num_shards`` share.  ``None`` disables eviction.
+    retry_after_seconds:
+        Base retry-after hint attached to backpressure rejections.
+    count_backward_arrivals_only:
+        Forwarded to every tenant's NET session (Dynamo counts only
+        backward arrivals; see :class:`~repro.prediction.net.NETPredictor`).
+    """
+
+    num_shards: int = 8
+    delay: int = 50
+    max_blocks: int | None = 256
+    max_queued_events: int = 1 << 16
+    memory_budget_bytes: int | None = None
+    retry_after_seconds: float = 0.05
+    count_backward_arrivals_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ServingError("num_shards must be positive")
+        if self.delay < 0:
+            raise ServingError("delay must be non-negative")
+        if self.max_queued_events < 1:
+            raise ServingError("max_queued_events must be positive")
+        if (
+            self.memory_budget_bytes is not None
+            and self.memory_budget_bytes < 1
+        ):
+            raise ServingError("memory_budget_bytes must be positive")
+        if self.retry_after_seconds <= 0:
+            raise ServingError("retry_after_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Reply to one accepted ingest."""
+
+    tenant_id: str
+    seq: int
+    events: int
+    selections: tuple[HotPathSelection, ...]
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Final record returned when a tenant's stream is closed."""
+
+    tenant_id: str
+    selections: tuple[HotPathSelection, ...]
+    outcome: PredictionOutcome
+    events_ingested: int
+    batches_ingested: int
+    flow: int
+    num_paths: int
+    counter_space: int
+    state_bytes: int
+    evictions: int
+
+
+@dataclass
+class _Tenant:
+    tenant_id: str
+    program: Program
+    session: TenantSession | None = None
+    queued_events: int = 0
+    next_seq: int = 0
+    turn: int = 0
+    last_used: int = 0
+    closed: bool = False
+    poisoned: bool = False
+    had_session: bool = False
+    resume_uid: int | None = None
+    evictions: int = 0
+    events_ingested: int = 0
+    batches_ingested: int = 0
+
+
+class _Shard:
+    __slots__ = (
+        "cond",
+        "state_lock",
+        "tenants",
+        "clock",
+        "state_bytes",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.state_lock = threading.Lock()
+        self.tenants: dict[str, _Tenant] = {}
+        self.clock = 0
+        self.state_bytes = 0
+        self.stats = {
+            "ingested_events": 0,
+            "ingested_batches": 0,
+            "selections": 0,
+            "rejects": 0,
+            "evictions": 0,
+            "evicted_bytes": 0,
+            "readmissions": 0,
+            "tenants_opened": 0,
+            "tenants_closed": 0,
+            "apply_seconds": 0.0,
+        }
+
+
+class PredictionServer:
+    """Sharded, thread-safe, long-running NET prediction service.
+
+    ``admit_hook``/``apply_hook`` are deterministic-test instrumentation
+    points: ``admit_hook(tenant_id, seq)`` fires after a batch passes
+    admission (before it waits its turn), ``apply_hook(tenant_id, batch)``
+    fires under the shard state lock immediately before the batch is
+    applied.  Production servers leave both unset.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        admit_hook: Callable[[str, int], None] | None = None,
+        apply_hook: Callable[[str, EventBatch], None] | None = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self._shards = [
+            _Shard() for _ in range(self.config.num_shards)
+        ]
+        self._admit_hook = admit_hook
+        self._apply_hook = apply_hook
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_index(self, tenant_id: str) -> int:
+        """The shard ``tenant_id`` is routed to (stable across runs)."""
+        return zlib.crc32(tenant_id.encode("utf-8")) % len(self._shards)
+
+    def _shard(self, tenant_id: str) -> _Shard:
+        return self._shards[self.shard_index(tenant_id)]
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+    def open_tenant(self, tenant_id: str, program: Program) -> None:
+        """Register ``tenant_id`` with its program ahead of ingesting.
+
+        Optional — ``ingest`` with ``program=`` performs the same
+        registration on first contact.
+        """
+        shard = self._shard(tenant_id)
+        with shard.cond:
+            self._admit_tenant(shard, tenant_id, program)
+
+    def _admit_tenant(
+        self, shard: _Shard, tenant_id: str, program: Program | None
+    ) -> _Tenant:
+        tenant = shard.tenants.get(tenant_id)
+        if tenant is None:
+            if program is None:
+                raise ServingError(
+                    f"unknown tenant {tenant_id!r}; open it first (or "
+                    "pass its program with the first ingest)"
+                )
+            tenant = _Tenant(tenant_id=tenant_id, program=program)
+            shard.tenants[tenant_id] = tenant
+            shard.stats["tenants_opened"] += 1
+        if tenant.closed:
+            raise ServingError(f"tenant {tenant_id!r} is closed")
+        if tenant.poisoned:
+            raise ServingError(
+                f"tenant {tenant_id!r} stream is poisoned by an earlier "
+                "ingest failure; close and reopen it"
+            )
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        tenant_id: str,
+        payload: EventBatch | bytes | bytearray | memoryview,
+        program: Program | None = None,
+    ) -> IngestResult:
+        """Apply one batch to ``tenant_id``'s stream.
+
+        ``payload`` is either an in-process :class:`EventBatch` or its
+        wire encoding (decoded before any lock is taken).  Returns the
+        selections the batch triggered; raises
+        :class:`~repro.errors.BackpressureError` when the tenant's
+        ingest queue is full and a trace/serving error when the payload
+        or stream is invalid.
+        """
+        batch = (
+            payload
+            if isinstance(payload, EventBatch)
+            else decode_batch(payload)
+        )
+        n = len(batch)
+        shard = self._shard(tenant_id)
+        config = self.config
+
+        with shard.cond:
+            tenant = self._admit_tenant(shard, tenant_id, program)
+            if tenant.queued_events + n > config.max_queued_events:
+                shard.stats["rejects"] += 1
+                raise BackpressureError(
+                    tenant_id,
+                    queued_events=tenant.queued_events,
+                    capacity=config.max_queued_events,
+                    retry_after_seconds=config.retry_after_seconds,
+                )
+            tenant.queued_events += n
+            seq = tenant.next_seq
+            tenant.next_seq += 1
+            if self._admit_hook is not None:
+                self._admit_hook(tenant_id, seq)
+            while tenant.turn != seq:
+                shard.cond.wait()
+
+        try:
+            with shard.state_lock:
+                session = self._resident_session(shard, tenant)
+                if self._apply_hook is not None:
+                    self._apply_hook(tenant_id, batch)
+                before_bytes = session.state_bytes
+                started = time.perf_counter()
+                selections = session.ingest(batch)
+                elapsed = time.perf_counter() - started
+                delta_bytes = session.state_bytes - before_bytes
+        except Exception:
+            with shard.cond:
+                tenant.poisoned = True
+                self._finish_turn(shard, tenant, n)
+            raise
+
+        with shard.cond:
+            tenant.events_ingested += n
+            tenant.batches_ingested += 1
+            stats = shard.stats
+            stats["ingested_events"] += n
+            stats["ingested_batches"] += 1
+            stats["selections"] += len(selections)
+            stats["apply_seconds"] += elapsed
+            shard.state_bytes += delta_bytes
+            self._touch(shard, tenant)
+            self._evict_over_budget(shard, keep=tenant)
+            self._finish_turn(shard, tenant, n)
+        return IngestResult(
+            tenant_id=tenant_id,
+            seq=seq,
+            events=n,
+            selections=tuple(selections),
+        )
+
+    def _finish_turn(self, shard: _Shard, tenant: _Tenant, n: int) -> None:
+        tenant.queued_events -= n
+        tenant.turn += 1
+        shard.cond.notify_all()
+
+    def _resident_session(
+        self, shard: _Shard, tenant: _Tenant
+    ) -> TenantSession:
+        """The tenant's live session, recreated after an eviction.
+
+        Called under the shard state lock; the session field is only
+        ever assigned here and dropped by eviction (under the admission
+        condition while the tenant is idle), so the turn-holder always
+        sees a consistent value.
+        """
+        session = tenant.session
+        if session is None:
+            session = TenantSession(
+                tenant_id=tenant.tenant_id,
+                program=tenant.program,
+                delay=self.config.delay,
+                max_blocks=self.config.max_blocks,
+                count_backward_arrivals_only=(
+                    self.config.count_backward_arrivals_only
+                ),
+                start_uid=tenant.resume_uid,
+            )
+            tenant.session = session
+            if tenant.had_session:
+                shard.stats["readmissions"] += 1
+            tenant.had_session = True
+        return session
+
+    def _touch(self, shard: _Shard, tenant: _Tenant) -> None:
+        shard.clock += 1
+        tenant.last_used = shard.clock
+
+    def _evict_over_budget(
+        self, shard: _Shard, keep: _Tenant | None = None
+    ) -> None:
+        """Drop idle LRU sessions until the shard is back under budget."""
+        budget = self.config.memory_budget_bytes
+        if budget is None:
+            return
+        shard_budget = max(1, budget // len(self._shards))
+        while shard.state_bytes > shard_budget:
+            victim: _Tenant | None = None
+            for tenant in shard.tenants.values():
+                if tenant is keep or tenant.session is None:
+                    continue
+                if tenant.queued_events or tenant.turn != tenant.next_seq:
+                    continue  # queued or in-flight work: not evictable
+                if victim is None or tenant.last_used < victim.last_used:
+                    victim = tenant
+            if victim is None:
+                return  # nothing evictable; budget is soft under load
+            freed = victim.session.state_bytes
+            # Remember where the stream stood so the fresh session a
+            # readmission builds resumes mid-flight instead of tripping
+            # the continuity check at the program entry.
+            victim.resume_uid = victim.session.stream_position
+            victim.session = None
+            victim.evictions += 1
+            shard.state_bytes -= freed
+            shard.stats["evictions"] += 1
+            shard.stats["evicted_bytes"] += freed
+
+    # ------------------------------------------------------------------
+    # Close
+    # ------------------------------------------------------------------
+    def close_tenant(self, tenant_id: str) -> TenantReport:
+        """End ``tenant_id``'s stream and release its state.
+
+        Takes a regular turnstile ticket, so every batch admitted
+        before the close is applied first; ingests arriving after the
+        close are rejected at admission.
+        """
+        shard = self._shard(tenant_id)
+        with shard.cond:
+            tenant = shard.tenants.get(tenant_id)
+            if tenant is None:
+                raise ServingError(f"unknown tenant {tenant_id!r}")
+            if tenant.closed:
+                raise ServingError(f"tenant {tenant_id!r} is closed")
+            tenant.closed = True  # admission now rejects new ingests
+            seq = tenant.next_seq
+            tenant.next_seq += 1
+            while tenant.turn != seq:
+                shard.cond.wait()
+
+        with shard.state_lock:
+            session = self._resident_session(shard, tenant)
+            # The shard's accounting has seen exactly the deltas of the
+            # applied batches; the final flush below grows the session
+            # past that, so remember what to release *before* closing.
+            tracked_bytes = session.state_bytes
+            selections = session.close()
+
+        with shard.cond:
+            del shard.tenants[tenant_id]
+            shard.state_bytes -= tracked_bytes
+            shard.stats["tenants_closed"] += 1
+            shard.stats["selections"] += len(selections)
+            tenant.turn += 1
+            shard.cond.notify_all()
+        return TenantReport(
+            tenant_id=tenant_id,
+            selections=tuple(selections),
+            outcome=session.outcome(),
+            events_ingested=tenant.events_ingested,
+            batches_ingested=tenant.batches_ingested,
+            flow=session.flow,
+            num_paths=session.num_paths,
+            counter_space=session.counter_space,
+            state_bytes=session.state_bytes,
+            evictions=tenant.evictions,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def tenant_queue_depth(self, tenant_id: str) -> int:
+        """Events admitted but not yet applied for ``tenant_id``."""
+        shard = self._shard(tenant_id)
+        with shard.cond:
+            tenant = shard.tenants.get(tenant_id)
+            return tenant.queued_events if tenant is not None else 0
+
+    def resident_tenants(self) -> int:
+        """Tenants currently holding live predictor state."""
+        total = 0
+        for shard in self._shards:
+            with shard.cond:
+                total += sum(
+                    1
+                    for tenant in shard.tenants.values()
+                    if tenant.session is not None
+                )
+        return total
+
+    def state_bytes(self) -> int:
+        """Metered predictor-state bytes across all shards."""
+        total = 0
+        for shard in self._shards:
+            with shard.cond:
+                total += shard.state_bytes
+        return total
+
+    def stats(self) -> dict:
+        """Aggregated server statistics as a plain dict."""
+        totals: dict[str, float] = {}
+        for shard in self._shards:
+            with shard.cond:
+                for key, value in shard.stats.items():
+                    totals[key] = totals.get(key, 0) + value
+        totals["resident_tenants"] = self.resident_tenants()
+        totals["state_bytes"] = self.state_bytes()
+        return totals
+
+    def publish(self, obs: Registry | None) -> None:
+        """Fold the server's statistics into an obs registry (once, at
+        the end of a run): counters under their stat names, the current
+        residency and state bytes as gauges, apply time as a timer."""
+        reg = get_registry(obs)
+        if not reg.enabled:
+            return
+        stats = self.stats()
+        for name in (
+            "ingested_events",
+            "ingested_batches",
+            "selections",
+            "rejects",
+            "evictions",
+            "evicted_bytes",
+            "readmissions",
+            "tenants_opened",
+            "tenants_closed",
+        ):
+            reg.counter(name).inc(int(stats[name]))
+        reg.gauge("resident_tenants").set(stats["resident_tenants"])
+        reg.gauge("state_bytes").set(stats["state_bytes"])
+        timer = reg.timer("apply")
+        timer.total_seconds += stats["apply_seconds"]
+        timer.count += int(stats["ingested_batches"])

@@ -1,0 +1,217 @@
+"""Per-tenant state: one live extraction + NET prediction pipeline.
+
+A *tenant* is one running program streaming its branch events to the
+server.  The session glues the two streaming layers together — a
+:class:`~repro.trace.extractor.PathStream` segmenting the tenant's
+event batches into path occurrences, and a
+:class:`~repro.prediction.streaming.NETSession` watching those
+occurrences for hot heads — and surfaces each first post-hot execution
+as a :class:`HotPathSelection` carrying the selected fragment (the
+path's block list), which is the server's response payload.
+
+Isolation is by construction: a session owns its extractor (and thus
+its path table, ids and segment memo) outright, shares no mutable state
+with any other session, and is only ever driven by one thread at a time
+(the server's per-tenant turnstile guarantees that).  The serving
+property suite turns this into a theorem-by-test: any interleaving of
+tenants' batches yields per-tenant selections byte-identical to each
+tenant running alone.
+
+The session also meters its own memory: :attr:`state_bytes` is a
+deterministic estimate of the predictor-state footprint (head counters,
+interned paths, segment memo), maintained incrementally so the server's
+fleet-scale budget enforcement (the Table 2 counter-space story) costs
+O(1) per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.program import Program
+from repro.errors import ServingError
+from repro.prediction.base import PredictionOutcome
+from repro.prediction.streaming import NETSession
+from repro.trace.batch import EventBatch
+from repro.trace.extractor import PathExtractor
+
+#: Estimated bytes per allocated head counter (dict slot + two ints).
+COUNTER_BYTES = 96
+
+#: Estimated fixed bytes per distinct interned path: the Path object,
+#: its signature, its table slot and its segment-memo key.
+PATH_BYTES = 360
+
+#: Estimated bytes per block reference inside an interned path (the
+#: blocks tuple entry plus the memo key's column bytes).
+BLOCK_BYTES = 24
+
+
+@dataclass(frozen=True, slots=True)
+class HotPathSelection:
+    """One hot-path selection announced to a tenant.
+
+    Attributes
+    ----------
+    tenant_id:
+        The tenant the selection belongs to.
+    path_id:
+        The selected path's id in the tenant's private table.
+    time:
+        Occurrence index (within the tenant's stream) of the selection
+        moment — the paper's prediction time.
+    head_uid:
+        The hot head the tail executed from.
+    blocks:
+        The selected fragment: the path's block uids in order, ready
+        for fragment construction.
+    num_instructions:
+        Static instruction count of the fragment.
+    """
+
+    tenant_id: str
+    path_id: int
+    time: int
+    head_uid: int
+    blocks: tuple[int, ...]
+    num_instructions: int
+
+
+class TenantSession:
+    """The full online pipeline for one tenant's stream."""
+
+    __slots__ = (
+        "tenant_id",
+        "_extractor",
+        "_stream",
+        "_net",
+        "_known_paths",
+        "_start_uids",
+        "_ends_backward",
+        "_num_blocks",
+        "events_ingested",
+        "batches_ingested",
+        "state_bytes",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        tenant_id: str,
+        program: Program,
+        delay: int,
+        max_blocks: int | None = 256,
+        count_backward_arrivals_only: bool = True,
+        start_uid: int | None = None,
+    ):
+        self.tenant_id = tenant_id
+        self._extractor = PathExtractor(program, max_blocks=max_blocks)
+        # ``start_uid`` resumes a stream mid-flight (a re-admitted
+        # tenant whose previous session was evicted at that block).
+        self._stream = self._extractor.stream(start_uid=start_uid)
+        self._net = NETSession(
+            delay,
+            count_backward_arrivals_only=count_backward_arrivals_only,
+        )
+        self._known_paths = 0
+        # Per-path static attributes, appended as the table grows, so
+        # the per-occurrence hot loop never touches Path objects.
+        self._start_uids: list[int] = []
+        self._ends_backward: list[bool] = []
+        self._num_blocks: list[int] = []
+        self.events_ingested = 0
+        self.batches_ingested = 0
+        self.state_bytes = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def ingest(self, batch: EventBatch) -> list[HotPathSelection]:
+        """Feed one batch; return the selections it triggered."""
+        if self.closed:
+            raise ServingError(
+                f"tenant {self.tenant_id!r} session is closed"
+            )
+        self.events_ingested += len(batch)
+        self.batches_ingested += 1
+        return self._observe(self._stream.feed(batch))
+
+    def close(self) -> list[HotPathSelection]:
+        """End the stream; return selections from the final segment."""
+        if self.closed:
+            raise ServingError(
+                f"tenant {self.tenant_id!r} session is closed"
+            )
+        selections = self._observe(self._stream.finish())
+        self.closed = True
+        return selections
+
+    # ------------------------------------------------------------------
+    def _observe(self, path_ids: list[int]) -> list[HotPathSelection]:
+        net = self._net
+        table = self._extractor.table
+        start_uids = self._start_uids
+        ends_backward = self._ends_backward
+        num_blocks = self._num_blocks
+        selections: list[HotPathSelection] = []
+        for path_id in path_ids:
+            while self._known_paths < len(table):
+                path = table.path(self._known_paths)
+                start_uids.append(path.start_uid)
+                ends_backward.append(path.ends_with_backward_branch)
+                num_blocks.append(path.num_blocks)
+                self.state_bytes += (
+                    PATH_BYTES + BLOCK_BYTES * path.num_blocks
+                )
+                self._known_paths += 1
+            head_uid = start_uids[path_id]
+            before = net.counter_space
+            if net.observe(
+                path_id,
+                head_uid,
+                ends_backward[path_id],
+                num_blocks[path_id],
+            ):
+                path = table.path(path_id)
+                selections.append(
+                    HotPathSelection(
+                        tenant_id=self.tenant_id,
+                        path_id=path_id,
+                        time=net.flow - 1,
+                        head_uid=head_uid,
+                        blocks=path.blocks,
+                        num_instructions=path.num_instructions,
+                    )
+                )
+            if net.counter_space != before:
+                self.state_bytes += COUNTER_BYTES
+        return selections
+
+    # ------------------------------------------------------------------
+    @property
+    def flow(self) -> int:
+        """Path occurrences observed so far."""
+        return self._net.flow
+
+    @property
+    def num_paths(self) -> int:
+        """Distinct paths interned so far."""
+        return len(self._extractor.table)
+
+    @property
+    def num_predictions(self) -> int:
+        """Selections announced so far."""
+        return self._net.num_predictions
+
+    @property
+    def counter_space(self) -> int:
+        """Head counters allocated so far."""
+        return self._net.counter_space
+
+    @property
+    def stream_position(self) -> int:
+        """Block uid the event stream is at (resume point on eviction)."""
+        return self._stream.position
+
+    def outcome(self) -> PredictionOutcome:
+        """The tenant's cumulative outcome (see :meth:`NETSession.outcome`)."""
+        return self._net.outcome()

@@ -1,0 +1,322 @@
+"""TCP transport for the prediction server.
+
+A deliberately thin request/reply protocol so the in-process
+:class:`~repro.serving.server.PredictionServer` can run as a real
+long-lived network service (``repro serve``).  Every message is one
+length-prefixed frame::
+
+    u32  frame length (little endian, body bytes)
+    u8   opcode          (1=open, 2=ingest, 3=close)
+    u16  tenant id length
+    ...  tenant id (utf-8)
+    ...  operand — open: program name (utf-8, resolved against the
+         server's program registry); ingest: a wire-encoded
+         EventBatch (see repro.serving.wire); close: empty
+
+Replies are a length-prefixed UTF-8 JSON object: ``{"status": "ok",
+...}`` with operation results, ``{"status": "backpressure",
+"retry_after": s, ...}`` for bounded-queue rejections, or
+``{"status": "error", "error": msg}`` for every other failure.  Clients
+never see a hung connection because of a full queue — backpressure is
+an immediate, explicit reply.
+
+Programs do not travel over the wire: tenants name a program from the
+registry the server was started with (e.g. the generated corpus), which
+keeps the transport free of code serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+
+from repro.cfg.program import Program
+from repro.errors import (
+    BackpressureError,
+    ReproError,
+    ServingError,
+    WireFormatError,
+)
+from repro.serving.server import PredictionServer, TenantReport
+from repro.serving.session import HotPathSelection
+from repro.serving.wire import encode_batch
+from repro.trace.batch import EventBatch
+
+OP_OPEN = 1
+OP_INGEST = 2
+OP_CLOSE = 3
+
+_LENGTH = struct.Struct("<I")
+_PREFIX = struct.Struct("<BH")
+
+#: Upper bound on one frame, rejecting absurd length prefixes before
+#: allocation (64 MiB is far beyond any sane batch).
+MAX_FRAME_BYTES = 64 << 20
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_request(op: int, tenant_id: str, operand: bytes = b"") -> bytes:
+    """One request frame, length prefix included."""
+    tenant = tenant_id.encode("utf-8")
+    body = _PREFIX.pack(op, len(tenant)) + tenant + operand
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_request(body: bytes) -> tuple[int, str, bytes]:
+    """Split a request body into (opcode, tenant id, operand)."""
+    if len(body) < _PREFIX.size:
+        raise WireFormatError(
+            f"request body of {len(body)} bytes is shorter than the "
+            f"{_PREFIX.size}-byte prefix"
+        )
+    op, tenant_len = _PREFIX.unpack_from(body, 0)
+    end = _PREFIX.size + tenant_len
+    if len(body) < end:
+        raise WireFormatError("request truncated inside the tenant id")
+    tenant_id = body[_PREFIX.size : end].decode("utf-8")
+    return op, tenant_id, body[end:]
+
+
+def _read_exactly(stream, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on a clean EOF at a frame
+    boundary, error on EOF mid-frame."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise WireFormatError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream) -> bytes | None:
+    """Read one length-prefixed frame body (None on clean EOF)."""
+    prefix = _read_exactly(stream, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    body = _read_exactly(stream, length)
+    if body is None:
+        raise WireFormatError("connection closed mid-frame")
+    return body
+
+
+def write_frame(stream, body: bytes) -> None:
+    stream.write(_LENGTH.pack(len(body)) + body)
+    stream.flush()
+
+
+def _selection_record(selection: HotPathSelection) -> dict:
+    return {
+        "path_id": selection.path_id,
+        "time": selection.time,
+        "head_uid": selection.head_uid,
+        "blocks": list(selection.blocks),
+        "num_instructions": selection.num_instructions,
+    }
+
+
+def _report_record(report: TenantReport) -> dict:
+    return {
+        "events_ingested": report.events_ingested,
+        "batches_ingested": report.batches_ingested,
+        "flow": report.flow,
+        "num_paths": report.num_paths,
+        "num_predictions": report.outcome.num_predictions,
+        "counter_space": report.counter_space,
+        "state_bytes": report.state_bytes,
+        "evictions": report.evictions,
+    }
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class ServingTCPServer(socketserver.ThreadingTCPServer):
+    """One thread per connection in front of a :class:`PredictionServer`.
+
+    ``programs`` is the registry tenants may open against (name →
+    :class:`Program`).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        server: PredictionServer,
+        programs: dict[str, Program],
+    ):
+        self.prediction_server = server
+        self.programs = dict(programs)
+        super().__init__(address, _RequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: ServingTCPServer = self.server  # type: ignore[assignment]
+        prediction = server.prediction_server
+        while True:
+            try:
+                body = read_frame(self.rfile)
+            except WireFormatError:
+                return  # peer vanished or spoke garbage framing
+            if body is None:
+                return
+            try:
+                reply = self._dispatch(server, prediction, body)
+            except BackpressureError as pushback:
+                reply = {
+                    "status": "backpressure",
+                    "retry_after": pushback.retry_after_seconds,
+                    "queued_events": pushback.queued_events,
+                    "capacity": pushback.capacity,
+                }
+            except ReproError as error:
+                reply = {"status": "error", "error": str(error)}
+            write_frame(
+                self.wfile, json.dumps(reply).encode("utf-8")
+            )
+
+    def _dispatch(
+        self,
+        server: "ServingTCPServer",
+        prediction: PredictionServer,
+        body: bytes,
+    ) -> dict:
+        op, tenant_id, operand = decode_request(body)
+        if op == OP_OPEN:
+            name = operand.decode("utf-8")
+            program = server.programs.get(name)
+            if program is None:
+                raise ServingError(
+                    f"unknown program {name!r}; registered: "
+                    f"{', '.join(sorted(server.programs)) or '(none)'}"
+                )
+            prediction.open_tenant(tenant_id, program)
+            return {"status": "ok", "opened": tenant_id}
+        if op == OP_INGEST:
+            result = prediction.ingest(tenant_id, operand)
+            return {
+                "status": "ok",
+                "events": result.events,
+                "seq": result.seq,
+                "selections": [
+                    _selection_record(s) for s in result.selections
+                ],
+            }
+        if op == OP_CLOSE:
+            report = prediction.close_tenant(tenant_id)
+            return {
+                "status": "ok",
+                "selections": [
+                    _selection_record(s) for s in report.selections
+                ],
+                "report": _report_record(report),
+            }
+        raise ServingError(f"unknown opcode {op}")
+
+
+def serve_forever(
+    server: ServingTCPServer, poll_interval: float = 0.5
+) -> None:
+    """Run the accept loop until ``shutdown`` (or KeyboardInterrupt)."""
+    server.serve_forever(poll_interval=poll_interval)
+
+
+def start_background(server: ServingTCPServer) -> threading.Thread:
+    """Serve on a daemon thread (tests and the in-process loadgen)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="serving-tcp", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class ServingClient:
+    """Blocking client for one connection to a :class:`ServingTCPServer`.
+
+    Raises :class:`~repro.errors.BackpressureError` on bounded-queue
+    rejections and :class:`~repro.errors.ServingError` on server-side
+    errors, mirroring the in-process API.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def close(self) -> None:
+        self._rfile.close()
+        self._wfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame: bytes) -> dict:
+        self._wfile.write(frame)
+        self._wfile.flush()
+        body = read_frame(self._rfile)
+        if body is None:
+            raise ServingError("server closed the connection")
+        reply = json.loads(body.decode("utf-8"))
+        status = reply.get("status")
+        if status == "ok":
+            return reply
+        if status == "backpressure":
+            raise BackpressureError(
+                tenant_id="",
+                queued_events=int(reply.get("queued_events", 0)),
+                capacity=int(reply.get("capacity", 0)),
+                retry_after_seconds=float(reply.get("retry_after", 0.05)),
+            )
+        raise ServingError(reply.get("error", "unknown server error"))
+
+    def open(self, tenant_id: str, program_name: str) -> dict:
+        return self._roundtrip(
+            encode_request(
+                OP_OPEN, tenant_id, program_name.encode("utf-8")
+            )
+        )
+
+    def ingest(
+        self, tenant_id: str, batch: EventBatch | bytes
+    ) -> dict:
+        operand = (
+            encode_batch(batch)
+            if isinstance(batch, EventBatch)
+            else bytes(batch)
+        )
+        return self._roundtrip(
+            encode_request(OP_INGEST, tenant_id, operand)
+        )
+
+    def close_tenant(self, tenant_id: str) -> dict:
+        return self._roundtrip(encode_request(OP_CLOSE, tenant_id))

@@ -13,7 +13,12 @@ stochastic path model; everything downstream is agnostic to the origin.
 from repro.trace.batch import EventBatch, EventBatchBuilder
 from repro.trace.columnar import find_cuts
 from repro.trace.events import HALT_DST, BranchEvent, halt_event
-from repro.trace.extractor import PathExtractor, PathOccurrence, extract_paths
+from repro.trace.extractor import (
+    PathExtractor,
+    PathOccurrence,
+    PathStream,
+    extract_paths,
+)
 from repro.trace.io import load_trace, save_trace
 from repro.trace.path import Path, PathSignature, PathTable, SignatureRegister
 from repro.trace.recorder import PathTrace, record_path_trace
@@ -39,6 +44,7 @@ __all__ = [
     "PathExtractor",
     "PathOccurrence",
     "PathSignature",
+    "PathStream",
     "PathTable",
     "PathTrace",
     "RandomOracle",

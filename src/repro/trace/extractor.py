@@ -239,19 +239,29 @@ class PathExtractor:
         """
         if isinstance(batches, EventBatch):
             batches = (batches,)
+        stream = self.stream(start_uid=start_uid)
+        ids: list[int] = []
+        for batch in batches:
+            ids.extend(stream.feed(batch))
+        ids.extend(stream.finish())
+        return np.asarray(ids, dtype=np.int64)
+
+    def stream(self, start_uid: int | None = None) -> "PathStream":
+        """An incremental extraction session over one event stream.
+
+        Where :meth:`extract_batch_ids` consumes a complete stream in
+        one call, the returned :class:`PathStream` accepts batches one
+        at a time as they arrive — the online form the prediction
+        server ingests tenants through.  Feeding every batch and then
+        finishing yields exactly the ids :meth:`extract_batch_ids`
+        returns for the same stream.
+        """
         uid = (
             start_uid
             if start_uid is not None
             else self._program.entry_block.uid
         )
-        cursor = _BatchCursor(uid=uid, expect_src=uid)
-        for batch in batches:
-            if cursor.halted:
-                break  # the scalar extractor stops consuming at halt
-            self._consume_batch(batch, cursor)
-        if not cursor.halted:
-            self._flush_tail(cursor)
-        return np.asarray(cursor.ids, dtype=np.int64)
+        return PathStream(self, _BatchCursor(uid=uid, expect_src=uid))
 
     def _consume_batch(self, batch: EventBatch, cursor: _BatchCursor) -> None:
         if len(batch) == 0:
@@ -418,6 +428,74 @@ class PathExtractor:
             num_indirect_branches=num_indirect,
             ends_with_backward_branch=ends_backward,
         )
+
+
+class PathStream:
+    """One live event stream being segmented incrementally.
+
+    Created by :meth:`PathExtractor.stream`.  :meth:`feed` consumes one
+    columnar batch and returns the ids of the segments that *completed*
+    inside it; events after the last cut stay buffered as the open
+    segment until a later batch (or :meth:`finish`) closes them.
+    :meth:`finish` ends the stream, emitting the final unterminated
+    segment exactly as the one-shot extractors do.
+
+    The stream shares its extractor's path table and segment memo, so
+    ids are directly comparable with any other extraction over the same
+    extractor, and repeated segments cost no per-event Python work.
+    """
+
+    __slots__ = ("_extractor", "_cursor", "_finished")
+
+    def __init__(self, extractor: PathExtractor, cursor: _BatchCursor):
+        self._extractor = extractor
+        self._cursor = cursor
+        self._finished = False
+
+    @property
+    def halted(self) -> bool:
+        """Whether the stream saw a halt event (further feeds are no-ops)."""
+        return self._cursor.halted
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    @property
+    def position(self) -> int:
+        """The block uid the stream is at: the src the next event must
+        carry.  A new stream over the same program can resume here
+        (``PathExtractor.stream(start_uid=position)``) after the open
+        segment's buffered events are discarded — how the serving layer
+        re-admits an evicted tenant mid-stream."""
+        return self._cursor.expect_src
+
+    def feed(self, batch: EventBatch) -> list[int]:
+        """Consume one batch; return ids of segments it completed."""
+        if self._finished:
+            raise TraceError("cannot feed a finished path stream")
+        cursor = self._cursor
+        if not cursor.halted:
+            # The scalar extractor stops consuming at halt; events past
+            # it are ignored, not validated.
+            self._extractor._consume_batch(batch, cursor)
+        return self._drain()
+
+    def finish(self) -> list[int]:
+        """End the stream; return ids the final flush completed."""
+        if self._finished:
+            raise TraceError("path stream already finished")
+        self._finished = True
+        cursor = self._cursor
+        if not cursor.halted:
+            self._extractor._flush_tail(cursor)
+        return self._drain()
+
+    def _drain(self) -> list[int]:
+        ids = self._cursor.ids
+        self._cursor.ids = []
+        return ids
 
 
 def extract_paths(

@@ -1,0 +1,78 @@
+"""TenantSession: streaming pipeline equivalence and state metering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.loadgen import build_stream, standalone_outcome
+from repro.serving.session import TenantSession
+
+DELAY = 10
+
+
+def _stream():
+    return build_stream(seed=11, events=2_000, batch_events=128, trips=20)
+
+
+def test_session_matches_standalone_predictor():
+    stream = _stream()
+    session = TenantSession("t", stream.program, delay=DELAY)
+    selections = []
+    for batch in stream.batches:
+        selections.extend(session.ingest(batch))
+    selections.extend(session.close())
+
+    offline = standalone_outcome(stream, delay=DELAY)
+    online = session.outcome()
+    assert online.scheme == offline.scheme
+    assert online.delay == offline.delay
+    assert np.array_equal(online.predicted_ids, offline.predicted_ids)
+    assert np.array_equal(online.prediction_times, offline.prediction_times)
+    assert np.array_equal(online.captured, offline.captured)
+    assert online.counter_space == offline.counter_space
+    assert online.profiling_ops == offline.profiling_ops
+    # The selection stream is the outcome, delivered incrementally.
+    assert [s.path_id for s in selections] == list(offline.predicted_ids)
+    assert [s.time for s in selections] == list(offline.prediction_times)
+
+
+def test_selections_carry_fragments():
+    stream = _stream()
+    session = TenantSession("frag", stream.program, delay=2)
+    selections = []
+    for batch in stream.batches:
+        selections.extend(session.ingest(batch))
+    selections.extend(session.close())
+    assert selections, "delay=2 on a looping stream must select paths"
+    table = {s.path_id for s in selections}
+    assert len(table) == len(selections), "each path selected once"
+    for selection in selections:
+        assert selection.tenant_id == "frag"
+        assert len(selection.blocks) >= 1
+        assert selection.blocks[0] == selection.head_uid
+        assert selection.num_instructions > 0
+
+
+def test_state_bytes_grow_monotonically():
+    stream = _stream()
+    session = TenantSession("meter", stream.program, delay=DELAY)
+    assert session.state_bytes == 0
+    seen = 0
+    for batch in stream.batches:
+        session.ingest(batch)
+        assert session.state_bytes >= seen
+        seen = session.state_bytes
+    assert seen > 0
+    assert session.counter_space > 0
+    assert session.num_paths > 0
+
+
+def test_closed_session_rejects_further_use():
+    stream = _stream()
+    session = TenantSession("done", stream.program, delay=DELAY)
+    session.ingest(stream.batches[0])
+    session.close()
+    with pytest.raises(ServingError, match="closed"):
+        session.ingest(stream.batches[0])
+    with pytest.raises(ServingError, match="closed"):
+        session.close()

@@ -1,0 +1,216 @@
+"""TCP transport: framing, request dispatch, error and backpressure
+replies, client behavior."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ServingError, WireFormatError
+from repro.serving import (
+    PredictionServer,
+    ServerConfig,
+    ServingClient,
+    ServingTCPServer,
+    start_background,
+)
+from repro.serving.loadgen import build_stream, standalone_outcome
+from repro.serving.transport import (
+    OP_CLOSE,
+    decode_request,
+    encode_request,
+)
+
+DELAY = 10
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_stream(seed=11, events=2_000, batch_events=128, trips=20)
+
+
+@pytest.fixture()
+def tcp(stream):
+    prediction = PredictionServer(ServerConfig(num_shards=2, delay=DELAY))
+    server = ServingTCPServer(
+        ("127.0.0.1", 0), prediction, {stream.name: stream.program}
+    )
+    start_background(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _client(tcp):
+    return ServingClient("127.0.0.1", tcp.port, timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# Request framing
+# ----------------------------------------------------------------------
+def test_request_round_trip():
+    frame = encode_request(OP_CLOSE, "tenant-π", b"operand")
+    op, tenant_id, operand = decode_request(frame[4:])
+    assert op == OP_CLOSE
+    assert tenant_id == "tenant-π"
+    assert operand == b"operand"
+
+
+def test_request_truncation_rejected():
+    frame = encode_request(OP_CLOSE, "tenant")
+    with pytest.raises(WireFormatError, match="truncated"):
+        decode_request(frame[4:8])
+    with pytest.raises(WireFormatError, match="shorter"):
+        decode_request(b"\x01")
+
+
+# ----------------------------------------------------------------------
+# Full round trips
+# ----------------------------------------------------------------------
+def test_tcp_stream_matches_standalone(tcp, stream):
+    with _client(tcp) as client:
+        client.open("t0", stream.name)
+        selections = []
+        for payload in stream.payloads:
+            reply = client.ingest("t0", payload)
+            selections.extend(reply["selections"])
+        reply = client.close_tenant("t0")
+        selections.extend(reply["selections"])
+    offline = standalone_outcome(stream, delay=DELAY)
+    assert [s["path_id"] for s in selections] == list(offline.predicted_ids)
+    assert [s["time"] for s in selections] == list(offline.prediction_times)
+    assert reply["report"]["events_ingested"] == stream.num_events
+    assert reply["report"]["counter_space"] == offline.counter_space
+
+
+def test_ingest_accepts_batch_objects(tcp, stream):
+    with _client(tcp) as client:
+        client.open("obj", stream.name)
+        reply = client.ingest("obj", stream.batches[0])
+        assert reply["events"] == len(stream.batches[0])
+        client.close_tenant("obj")
+
+
+def test_unknown_program_is_an_error_reply(tcp):
+    with _client(tcp) as client:
+        with pytest.raises(ServingError, match="unknown program"):
+            client.open("t", "no-such-program")
+
+
+def test_unknown_tenant_is_an_error_reply(tcp, stream):
+    with _client(tcp) as client:
+        with pytest.raises(ServingError, match="unknown tenant"):
+            client.ingest("ghost", stream.payloads[0])
+
+
+def test_corrupt_payload_is_an_error_reply_not_a_hang(tcp, stream):
+    with _client(tcp) as client:
+        client.open("t", stream.name)
+        with pytest.raises(ServingError, match="truncated"):
+            client.ingest("t", stream.payloads[0][:-1])
+        # The connection survives the error reply.
+        assert client.ingest("t", stream.payloads[0])["seq"] == 0
+        client.close_tenant("t")
+
+
+def test_unknown_opcode_is_an_error_reply(tcp):
+    with _client(tcp) as client:
+        client._wfile.write(encode_request(99, "t"))
+        client._wfile.flush()
+        with pytest.raises(ServingError, match="unknown opcode"):
+            client._roundtrip(b"")  # reads the pending reply
+
+
+def test_backpressure_travels_as_a_typed_reply(stream):
+    capacity = len(stream.batches[0])
+    applying = threading.Event()
+    release = threading.Event()
+
+    def apply_hook(tenant_id, batch):
+        applying.set()
+        assert release.wait(timeout=60)
+
+    prediction = PredictionServer(
+        ServerConfig(
+            num_shards=1,
+            delay=DELAY,
+            max_queued_events=capacity,
+            retry_after_seconds=0.125,
+        ),
+        apply_hook=apply_hook,
+    )
+    server = ServingTCPServer(
+        ("127.0.0.1", 0), prediction, {stream.name: stream.program}
+    )
+    start_background(server)
+    try:
+        with _client(server) as c1, _client(server) as c2:
+            c1.open("slow", stream.name)
+            wedge = threading.Thread(
+                target=c1.ingest,
+                args=("slow", stream.payloads[0]),
+                daemon=True,
+            )
+            wedge.start()
+            assert applying.wait(timeout=60)
+            # Overflow the bounded queue from a second connection: the
+            # rejection crosses the wire as a typed backpressure reply.
+            with pytest.raises(BackpressureError) as rejected:
+                c2.ingest("slow", stream.payloads[1])
+            assert rejected.value.retry_after_seconds == 0.125
+            assert rejected.value.capacity == capacity
+            release.set()
+            wedge.join()
+    finally:
+        release.set()
+        server.shutdown()
+        server.server_close()
+
+
+def test_two_connections_share_tenant_state(tcp, stream):
+    with _client(tcp) as c1, _client(tcp) as c2:
+        c1.open("shared", stream.name)
+        c1.ingest("shared", stream.payloads[0])
+        reply = c2.ingest("shared", stream.payloads[1])
+        assert reply["seq"] == 1
+        report = c2.close_tenant("shared")["report"]
+        assert report["batches_ingested"] == 2
+
+
+def test_parallel_tcp_clients_stay_isolated(tcp, stream):
+    offline = standalone_outcome(stream, delay=DELAY)
+    results = {}
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def replay(tid):
+        try:
+            with _client(tcp) as client:
+                client.open(tid, stream.name)
+                barrier.wait()
+                predicted = []
+                for payload in stream.payloads:
+                    predicted.extend(
+                        s["path_id"]
+                        for s in client.ingest(tid, payload)["selections"]
+                    )
+                predicted.extend(
+                    s["path_id"]
+                    for s in client.close_tenant(tid)["selections"]
+                )
+                results[tid] = predicted
+        except BaseException as error:  # pragma: no cover - fail loud
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=replay, args=(f"par-{i}",), daemon=True)
+        for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    expected = list(np.asarray(offline.predicted_ids))
+    for tid, predicted in results.items():
+        assert predicted == expected, tid

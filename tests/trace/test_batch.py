@@ -91,6 +91,53 @@ def test_builder_resets_after_build():
     assert int(second.src[0]) == 2
 
 
+def test_builder_growth_preserves_dtypes():
+    # Regression: growing past the initial capacity must keep the
+    # columnar dtypes (int64/int64/uint8/bool) instead of letting numpy
+    # re-infer them during reallocation.
+    builder = EventBatchBuilder(capacity=2)
+    for index in range(197):
+        builder.append(index, index + 1, index % 4, index % 3 == 0)
+    assert builder.capacity >= 197
+    batch = builder.build()
+    assert len(batch) == 197
+    assert batch.src.dtype == np.int64
+    assert batch.dst.dtype == np.int64
+    assert batch.kind.dtype == np.uint8
+    assert batch.backward.dtype == np.bool_
+    assert batch.src[0] == 0 and batch.src[196] == 196
+    assert batch.dst[196] == 197
+    assert bool(batch.backward[0]) and not bool(batch.backward[1])
+
+
+def test_builder_build_does_not_alias_storage():
+    # Regression: a published batch must not share memory with the
+    # builder's reusable buffers — later appends would rewrite history.
+    builder = EventBatchBuilder(capacity=4)
+    builder.append(10, 11, 0, False)
+    builder.append(11, 12, 1, True)
+    first = builder.build()
+    for column in ("src", "dst", "kind", "backward"):
+        assert not np.shares_memory(
+            getattr(first, column), getattr(builder, f"_{column}")
+        ), column
+    builder.append(99, 100, 2, False)
+    second = builder.build()
+    assert list(first.src) == [10, 11]
+    assert list(first.dst) == [11, 12]
+    assert list(second.src) == [99]
+    # Batches built before a growth cycle stay intact through it.
+    for index in range(64):
+        builder.append(index, index, 0, False)
+    builder.build()
+    assert list(first.src) == [10, 11]
+
+
+def test_builder_rejects_bad_capacity():
+    with pytest.raises(TraceError, match="capacity"):
+        EventBatchBuilder(capacity=0)
+
+
 # ----------------------------------------------------------------------
 # Batched CFG walking
 # ----------------------------------------------------------------------
