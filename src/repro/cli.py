@@ -8,6 +8,10 @@ Commands
     Trace summary, Table 1/2 cells and counter space of one benchmark.
 ``experiment NAME [NAME…]`` (alias: ``run``)
     Regenerate paper tables/figures (optionally into an output dir).
+    With a cache directory this runs through the incremental artifact
+    graph — only cells whose inputs changed are recomputed; ``--dry-run``
+    lists what a real run would execute and why, ``--explain`` reports
+    it after running (see ``docs/sweep_engine.md``).
 ``sweep BENCH``
     Prediction-delay sweep of both schemes on one benchmark.
 ``dynamo BENCH``
@@ -43,7 +47,12 @@ import sys
 
 from repro.dynamo import DynamoSystem
 from repro.errors import ReproError, SweepInterrupted
-from repro.experiments import EXPERIMENT_IDS, run_experiment
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    plan_targets,
+    run_experiment,
+    run_targets,
+)
 from repro.experiments.engine import SweepCache, run_sweep
 from repro.experiments.extended import EXTENDED_IDS, run_extended
 from repro.experiments.report import render_table
@@ -165,22 +174,60 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     obs = get_registry(registry)
     cache = _engine_cache(args, registry)
     resilience = _resilience_policy(args)
-    for name in names:
-        with obs.phase(f"experiment:{name}"):
-            text = run_experiment(
-                name,
-                flow_scale=args.flow_scale,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                cache=cache,
-                obs=registry,
-                resilience=resilience,
-            )
-        print(text)
-        print()
-        if out_dir is not None:
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{name}.txt").write_text(text + "\n")
+    if args.dry_run:
+        # Plan only: stdout lists exactly the nodes a real run would
+        # execute and why (empty when everything is clean); the one-line
+        # plan summary goes to stderr so stdout stays machine-checkable.
+        plan = plan_targets(
+            args.names or None, args.flow_scale, cache
+        ).plan
+        for line in plan.explain_lines():
+            print(line)
+        print(plan.summary(), file=sys.stderr)
+        _finish_metrics(args, registry, recorder)
+        return 0
+    if cache is not None:
+        # Incremental artifact graph: recompute only the dirty subgraph,
+        # serve everything else from the cell cache and render store.
+        run = run_targets(
+            args.names or None,
+            flow_scale=args.flow_scale,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            cache=cache,
+            obs=registry,
+            resilience=resilience,
+        )
+        for name in names:
+            text = run.texts[name]
+            print(text)
+            print()
+            if out_dir is not None:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(run.plan.summary(), file=sys.stderr)
+        if args.explain:
+            for line in run.plan.explain_lines():
+                print(line, file=sys.stderr)
+    else:
+        # --no-cache: the graph has nowhere to persist state, so fall
+        # back to unconditional from-scratch recomputation.
+        for name in names:
+            with obs.phase(f"experiment:{name}"):
+                text = run_experiment(
+                    name,
+                    flow_scale=args.flow_scale,
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    cache=cache,
+                    obs=registry,
+                    resilience=resilience,
+                )
+            print(text)
+            print()
+            if out_dir is not None:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"{name}.txt").write_text(text + "\n")
     if cache is not None and cache.stats.lookups:
         print(cache.stats.render(), file=sys.stderr)
     _finish_metrics(args, registry, recorder)
@@ -504,6 +551,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiments to run (default: all of {', '.join(EXPERIMENT_IDS)})",
     )
     experiment.add_argument("--out", help="directory for .txt artifacts")
+    experiment.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "plan only: list the graph nodes a real run would execute "
+            "and why (stdout is empty when everything is up to date)"
+        ),
+    )
+    experiment.add_argument(
+        "--explain",
+        action="store_true",
+        help="after running, print why each executed node was dirty",
+    )
     add_flow_scale(experiment)
     add_engine_flags(experiment)
     add_metrics_flags(experiment)

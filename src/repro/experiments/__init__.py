@@ -56,12 +56,20 @@ from repro.experiments.sweep import (
 )
 from repro.experiments.table1 import Table1Row, build_table1, render_table1
 from repro.experiments.table2 import Table2Row, build_table2, render_table2
+from repro.experiments.targets import (
+    TARGETS,
+    TargetRun,
+    build_graph,
+    plan_targets,
+    run_targets,
+)
 
 __all__ = [
     "DEFAULT_DELAYS",
     "EXPERIMENT_IDS",
     "FIGURE5_DELAYS",
     "SWEEP_EXPERIMENTS",
+    "TARGETS",
     "CacheStats",
     "ClaimResult",
     "Figure4Bar",
@@ -73,7 +81,9 @@ __all__ = [
     "SweepTask",
     "Table1Row",
     "Table2Row",
+    "TargetRun",
     "average_curve",
+    "build_graph",
     "bail_out_report",
     "benchmark_traces",
     "build_figure2",
@@ -85,6 +95,7 @@ __all__ = [
     "evaluate_claims",
     "interpolate_at_profiled",
     "plan_sweep",
+    "plan_targets",
     "prediction_rate_series",
     "profiled_needed_for_noise",
     "render_claims",
@@ -99,6 +110,7 @@ __all__ = [
     "run_experiment",
     "run_phase_experiment",
     "run_sweep",
+    "run_targets",
     "scheme_curve",
     "sweep_trace",
     "trace_digest",

@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ExperimentError
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.figure2 import FigureCurves, build_figure2
 from repro.experiments.report import fmt, render_table
 from repro.experiments.sweep import SweepPoint, interpolate_at_profiled
 from repro.trace.recorder import PathTrace
+from repro.workloads.spec import BENCHMARK_ORDER
 
 
 @dataclass(frozen=True)
@@ -125,3 +127,20 @@ def render_claims(results: list[ClaimResult]) -> str:
         ],
         title="Section 5.1 headline claims (measured vs paper)",
     )
+
+
+def _claims_text(points: list[SweepPoint], delays: tuple[int, ...]) -> str:
+    """Evaluate and render the claims from bare sweep points."""
+    curves = FigureCurves(points=list(points), delays=tuple(delays))
+    return render_claims(evaluate_claims(curves=curves))
+
+
+#: Artifact-graph declaration: the claims read off the same sweep cells
+#: as Figures 2/3 (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="claims",
+    version="claims-text-v1",
+    benchmarks=tuple(BENCHMARK_ORDER),
+    sweep=True,
+    render_points=_claims_text,
+)

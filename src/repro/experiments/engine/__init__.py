@@ -13,6 +13,7 @@ from repro.experiments.engine.cache import (
     CODE_VERSION,
     CacheStats,
     SweepCache,
+    atomic_write_text,
     cache_key,
     trace_digest,
 )
@@ -24,6 +25,19 @@ from repro.experiments.engine.dataplane import (
     shared_memory_available,
 )
 from repro.experiments.engine.executor import DEFAULT_CHUNK_SIZE, run_sweep
+from repro.experiments.engine.graph import (
+    GENERATOR_VERSION,
+    ArtifactGraph,
+    GraphNode,
+    GraphPlan,
+    GraphState,
+    NodeStatus,
+    RenderStore,
+    TargetSpec,
+    config_digest,
+    plan_graph,
+    spec_digest,
+)
 from repro.experiments.engine.planner import (
     SweepTask,
     autotune_chunk_size,
@@ -35,19 +49,31 @@ from repro.experiments.engine.planner import (
 __all__ = [
     "CODE_VERSION",
     "DEFAULT_CHUNK_SIZE",
+    "GENERATOR_VERSION",
     "ArchiveHandle",
+    "ArtifactGraph",
     "CacheStats",
+    "GraphNode",
+    "GraphPlan",
+    "GraphState",
+    "NodeStatus",
+    "RenderStore",
     "ReplayContext",
     "SweepCache",
     "SweepTask",
+    "TargetSpec",
     "TraceArchive",
     "TraceDataPlane",
+    "atomic_write_text",
     "autotune_chunk_size",
     "cache_key",
     "chunk_tasks",
+    "config_digest",
     "group_by_benchmark",
+    "plan_graph",
     "plan_sweep",
     "run_sweep",
     "shared_memory_available",
+    "spec_digest",
     "trace_digest",
 ]

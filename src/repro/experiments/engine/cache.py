@@ -71,11 +71,14 @@ ENTRY_FORMAT = 1
 _DIGEST_DTYPE = np.dtype("<i8")
 
 #: Digest memo, keyed weakly by trace object so it never pins a trace in
-#: memory.  The value carries the table size seen at digest time: a
-#: shared path table can grow after the digest was taken (another trace
-#: recorded over the same table), which changes the content — such an
-#: entry is detected as stale and recomputed rather than served.
-_digest_memo: "weakref.WeakKeyDictionary[PathTrace, tuple[int, str]]" = (
+#: memory.  The value carries the table size *and* the occurrence count
+#: seen at digest time: a shared path table can grow after the digest
+#: was taken (another trace recorded over the same table), and a trace
+#: object whose ``path_ids`` attribute is reassigned changes content the
+#: table size alone cannot see — either way the entry is detected as
+#: stale and recomputed rather than served.  (In-place mutation is ruled
+#: out at the source: ``PathTrace`` freezes its occurrence array.)
+_digest_memo: "weakref.WeakKeyDictionary[PathTrace, tuple[int, int, str]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -95,8 +98,12 @@ def trace_digest(trace: PathTrace) -> str:
     per-run fixed cost the sweep loop should pay once.
     """
     memo = _digest_memo.get(trace)
-    if memo is not None and memo[0] == trace.num_paths:
-        return memo[1]
+    if (
+        memo is not None
+        and memo[0] == trace.num_paths
+        and memo[1] == len(trace.path_ids)
+    ):
+        return memo[2]
     hasher = hashlib.sha256()
     hasher.update(trace.name.encode("utf-8"))
     hasher.update(b"\x00")
@@ -112,10 +119,56 @@ def trace_digest(trace: PathTrace) -> str:
     hasher.update(ids.tobytes())
     digest = hasher.hexdigest()
     try:
-        _digest_memo[trace] = (trace.num_paths, digest)
+        _digest_memo[trace] = (trace.num_paths, len(trace.path_ids), digest)
     except TypeError:  # pragma: no cover - unweakreferenceable subclass
         pass
     return digest
+
+
+def process_umask() -> int:
+    """The current process umask.
+
+    ``os`` offers no read-only accessor, so this is the usual
+    set-and-restore dance; it is not atomic against concurrent
+    ``os.umask`` calls in other threads, which nothing in this codebase
+    makes.
+    """
+    current = os.umask(0)
+    os.umask(current)
+    return current
+
+
+def _discard_file(path: pathlib.Path) -> None:
+    """Best-effort unlink (already-gone and unwritable are both fine)."""
+    try:
+        path.unlink()
+    except OSError:  # pragma: no cover - already gone or unwritable
+        pass
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically, honoring the umask.
+
+    ``tempfile.mkstemp`` deliberately creates private mode-0600 files,
+    which is wrong for published cache entries: a cache directory shared
+    between users or CI jobs would fill with entries only their creator
+    can read back (silent invalidation churn for everyone else).  The
+    temp file is therefore chmod'ed to ``0o666 & ~umask`` — exactly what
+    a plain ``open(path, "w")`` would have produced — before the rename
+    publishes it.  Readers never observe a partial file.
+    """
+    target = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name[:12]}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.chmod(tmp_name, 0o666 & ~process_umask())
+        os.replace(tmp_name, target)
+    except BaseException:
+        _discard_file(pathlib.Path(tmp_name))
+        raise
 
 
 def cache_key(
@@ -323,20 +376,12 @@ class SweepCache:
         }
         path = self.entry_path(key)
         try:
+            # allow_nan=False keeps entries standard JSON; a non-finite
+            # field fails the store instead of writing a token other
+            # parsers reject.
+            blob = json.dumps(entry, allow_nan=False)
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{key[:12]}.", suffix=".tmp", dir=self.root
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    # allow_nan=False keeps entries standard JSON; a
-                    # non-finite field fails the store instead of
-                    # writing a token other parsers reject.
-                    json.dump(entry, handle, allow_nan=False)
-                os.replace(tmp_name, path)
-            except BaseException:
-                self._discard(pathlib.Path(tmp_name))
-                raise
+            atomic_write_text(path, blob)
         except (OSError, TypeError, ValueError) as error:
             logger.warning(
                 "sweep cache: could not store entry %s (%s)", path, error
@@ -347,10 +392,7 @@ class SweepCache:
 
     @staticmethod
     def _discard(path: pathlib.Path) -> None:
-        try:
-            path.unlink()
-        except OSError:  # pragma: no cover - already gone or unwritable
-            pass
+        _discard_file(path)
 
     @staticmethod
     def _quarantine(path: pathlib.Path, target: pathlib.Path) -> None:
@@ -358,5 +400,5 @@ class SweepCache:
         resort so the poison can never be served again)."""
         try:
             os.replace(path, target)
-        except OSError:  # pragma: no cover - cross-device or unwritable
+        except OSError:  # cross-device or unwritable quarantine target
             SweepCache._discard(path)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.data import benchmark_traces
 from repro.experiments.engine import SweepCache, run_sweep
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.report import fmt, render_table
 from repro.experiments.sweep import (
     DEFAULT_DELAYS,
@@ -156,3 +157,19 @@ def render_figure2(curves: FigureCurves) -> str:
         ),
     ]
     return "\n\n".join(parts)
+
+
+def _figure2_text(points: list[SweepPoint], delays: tuple[int, ...]) -> str:
+    """Render the figure from bare sweep points (artifact-graph entry)."""
+    return render_figure2(FigureCurves(points=list(points), delays=tuple(delays)))
+
+
+#: Artifact-graph declaration: Figure 2 is a sweep target whose cells
+#: are the full benchmark × scheme × τ grid (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="figure2",
+    version="figure2-text-v1",
+    benchmarks=tuple(BENCHMARK_ORDER),
+    sweep=True,
+    render_points=_figure2_text,
+)

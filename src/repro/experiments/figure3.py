@@ -8,10 +8,12 @@ percentage of cold flow inadvertently included in the prediction set
 from __future__ import annotations
 
 from repro.experiments.engine import SweepCache
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.figure2 import FigureCurves, build_figure2, render_panel
 from repro.obs.core import Registry
 from repro.resilience import RetryPolicy
 from repro.trace.recorder import PathTrace
+from repro.workloads.spec import BENCHMARK_ORDER
 
 
 def build_figure3(
@@ -64,3 +66,21 @@ def render_figure3(curves: FigureCurves) -> str:
         ),
     ]
     return "\n\n".join(parts)
+
+
+def _figure3_text(points, delays):
+    """Render the figure from bare sweep points (artifact-graph entry)."""
+    return render_figure3(
+        FigureCurves(points=list(points), delays=tuple(delays))
+    )
+
+
+#: Artifact-graph declaration: Figure 3 shares Figure 2's cell nodes —
+#: only its render differs (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="figure3",
+    version="figure3-text-v1",
+    benchmarks=tuple(BENCHMARK_ORDER),
+    sweep=True,
+    render_points=_figure3_text,
+)

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.data import benchmark_traces
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.report import fmt, render_table
 from repro.experiments.table2 import Table2Row, build_table2
 from repro.trace.recorder import PathTrace
+from repro.workloads.spec import BENCHMARK_ORDER
 
 #: Figure 4 bar values recomputed from the paper's own Table 2.
 PAPER_RATIOS = {
@@ -87,3 +89,17 @@ def render_figure4(bars: list[Figure4Bar]) -> str:
             "counter space"
         ),
     )
+
+
+def _figure4_text(traces: dict[str, PathTrace], flow_scale: float) -> str:
+    """Build and render from already-materialized traces."""
+    return render_figure4(build_figure4(traces=traces))
+
+
+#: Artifact-graph declaration (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="figure4",
+    version="figure4-text-v1",
+    benchmarks=tuple(BENCHMARK_ORDER),
+    build=_figure4_text,
+)

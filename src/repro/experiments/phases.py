@@ -21,11 +21,12 @@ from repro.dynamo.config import DynamoConfig
 from repro.dynamo.flush import PredictionRateMonitor
 from repro.dynamo.stats import DynamoRun
 from repro.dynamo.system import DynamoSystem
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.report import fmt, render_table
 from repro.metrics.hotpaths import hot_path_set
 from repro.prediction.net import NETPredictor
 from repro.trace.recorder import PathTrace
-from repro.workloads.phased import load_phased, phase_boundaries
+from repro.workloads.phased import load_phased, phase_boundaries, phased_config
 
 
 @dataclass(frozen=True)
@@ -174,3 +175,30 @@ def render_phase_report(report: PhaseReport) -> str:
         rows=rows,
         title="Section 6.1: phase changes and the flush heuristic",
     )
+
+
+def _phases_flow(flow_scale: float) -> int:
+    """The phased trace's flow at a given scale (floored: a phased run
+    shorter than 20k occurrences has no phases to speak of)."""
+    return max(int(400_000 * flow_scale), 20_000)
+
+
+def phases_config(flow_scale: float):
+    """The workload recipe the phases target consumes (for spec digests)."""
+    return phased_config(flow=_phases_flow(flow_scale))
+
+
+def _phases_text(traces, flow_scale: float) -> str:
+    """Run and render the §6.1 experiment (artifact-graph entry)."""
+    return render_phase_report(run_phase_experiment(flow=_phases_flow(flow_scale)))
+
+
+#: Artifact-graph declaration: no benchmark traces — the input is the
+#: phased workload's recipe, declared via ``config_for`` so recipe
+#: changes dirty the node (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="phases",
+    version="phases-text-v1",
+    build=_phases_text,
+    config_for=phases_config,
+)

@@ -5,35 +5,32 @@ text rendering; ``EXPERIMENT_IDS`` lists what is available.  The
 benchmark harness and the examples go through this registry so there is
 exactly one code path per experiment.
 
-Sweep-backed experiments (figure2, figure3, claims) run on the sweep
-engine: ``workers`` parallelizes the trace replays and a shared
-``cache`` lets consecutive experiments reuse each other's cells —
-regenerating Figure 3 right after Figure 2 replays nothing.
+The registry is *derived* from the target declarations (each experiment
+module's ``TARGET``, collected in :mod:`repro.experiments.targets`):
+the same :class:`~repro.experiments.engine.graph.TargetSpec` that
+drives the incremental artifact graph also defines the from-scratch
+runner used here, so the two paths cannot drift apart — the equivalence
+tests assert their outputs are byte-identical.
+
+``run_experiment`` always computes from scratch (modulo the sweep
+cache); for the incremental path — recompute only what changed — see
+:func:`repro.experiments.targets.run_targets` and ``repro run``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
 from repro.errors import ExperimentError
-from repro.experiments.claims import evaluate_claims, render_claims
-from repro.experiments.engine import SweepCache
-from repro.experiments.figure2 import build_figure2, render_figure2
-from repro.experiments.figure3 import build_figure3, render_figure3
-from repro.experiments.figure4 import build_figure4, render_figure4
-from repro.experiments.figure5 import (
-    bail_out_report,
-    build_figure5,
-    render_figure5,
-)
-from repro.experiments.phases import render_phase_report, run_phase_experiment
-from repro.experiments.table1 import build_table1, render_table1
-from repro.experiments.table2 import build_table2, render_table2
+from repro.experiments.data import benchmark_traces
+from repro.experiments.engine import SweepCache, run_sweep
+from repro.experiments.engine.graph import TargetSpec
+from repro.experiments.sweep import DEFAULT_DELAYS
+from repro.experiments.targets import TARGETS
 from repro.obs.core import Registry
 from repro.resilience import RetryPolicy
 
 
-def _run_table1(
+def _run_target(
+    target: TargetSpec,
     flow_scale: float,
     workers: int,
     chunk_size: int | None,
@@ -41,147 +38,37 @@ def _run_table1(
     obs: Registry | None,
     resilience: RetryPolicy | None,
 ) -> str:
-    return render_table1(build_table1(flow_scale=flow_scale))
-
-
-def _run_table2(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    return render_table2(build_table2(flow_scale=flow_scale))
-
-
-def _run_figure2(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    return render_figure2(
-        build_figure2(
-            flow_scale=flow_scale,
+    """Compute one target from scratch via its declaration."""
+    if target.sweep:
+        traces = benchmark_traces(
+            names=list(target.benchmarks), flow_scale=flow_scale
+        )
+        points = run_sweep(
+            traces,
             workers=workers,
             cache=cache,
             chunk_size=chunk_size,
             obs=obs,
             resilience=resilience,
         )
-    )
-
-
-def _run_figure3(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    return render_figure3(
-        build_figure3(
-            flow_scale=flow_scale,
-            workers=workers,
-            cache=cache,
-            chunk_size=chunk_size,
-            obs=obs,
-            resilience=resilience,
+        return target.render_points(points, DEFAULT_DELAYS)
+    traces = (
+        benchmark_traces(
+            names=list(target.benchmarks), flow_scale=flow_scale
         )
+        if target.benchmarks
+        else {}
     )
+    return target.build(traces, flow_scale)
 
 
-def _run_figure4(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    return render_figure4(build_figure4(flow_scale=flow_scale))
-
-
-def _run_figure5(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    text = render_figure5(build_figure5(flow_scale=flow_scale))
-    bails = bail_out_report(flow_scale=flow_scale)
-    lines = [text, "", "Bail-outs (excluded from the figure, τ=50):"]
-    for run in bails:
-        lines.append("  " + run.render())
-    return "\n".join(lines)
-
-
-def _run_claims(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    curves = build_figure2(
-        flow_scale=flow_scale,
-        workers=workers,
-        cache=cache,
-        chunk_size=chunk_size,
-        obs=obs,
-        resilience=resilience,
-    )
-    return render_claims(evaluate_claims(curves=curves))
-
-
-def _run_phases(
-    flow_scale: float,
-    workers: int,
-    chunk_size: int | None,
-    cache: SweepCache | None,
-    obs: Registry | None,
-    resilience: RetryPolicy | None,
-) -> str:
-    flow = max(int(400_000 * flow_scale), 20_000)
-    return render_phase_report(run_phase_experiment(flow=flow))
-
-
-EXPERIMENTS: dict[
-    str,
-    Callable[
-        [
-            float,
-            int,
-            int | None,
-            SweepCache | None,
-            Registry | None,
-            RetryPolicy | None,
-        ],
-        str,
-    ],
-] = {
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "figure2": _run_figure2,
-    "figure3": _run_figure3,
-    "figure4": _run_figure4,
-    "figure5": _run_figure5,
-    "claims": _run_claims,
-    "phases": _run_phases,
-}
-
-#: Public list of regenerable experiments.
-EXPERIMENT_IDS = tuple(EXPERIMENTS)
+#: Public list of regenerable experiments (canonical artifact order).
+EXPERIMENT_IDS = tuple(TARGETS)
 
 #: Experiments whose data is a delay sweep (and thus engine-accelerated).
-SWEEP_EXPERIMENTS = ("figure2", "figure3", "claims")
+SWEEP_EXPERIMENTS = tuple(
+    name for name, target in TARGETS.items() if target.sweep
+)
 
 
 def run_experiment(
@@ -200,10 +87,12 @@ def run_experiment(
     :data:`SWEEP_EXPERIMENTS`; the others ignore them.
     """
     try:
-        runner = EXPERIMENTS[name]
+        target = TARGETS[name]
     except KeyError:
         known = ", ".join(EXPERIMENT_IDS)
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
-    return runner(flow_scale, workers, chunk_size, cache, obs, resilience)
+    return _run_target(
+        target, flow_scale, workers, chunk_size, cache, obs, resilience
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.data import benchmark_traces
+from repro.experiments.engine.graph import TargetSpec
 from repro.experiments.report import render_table
 from repro.metrics.space import counter_space
 from repro.trace.recorder import PathTrace
@@ -83,3 +84,17 @@ def render_table2(rows: list[Table2Row]) -> str:
         ],
         title="Table 2: number of paths and unique path heads",
     )
+
+
+def _table2_text(traces: dict[str, PathTrace], flow_scale: float) -> str:
+    """Build and render from already-materialized traces."""
+    return render_table2(build_table2(traces=traces))
+
+
+#: Artifact-graph declaration (see repro.experiments.targets).
+TARGET = TargetSpec(
+    name="table2",
+    version="table2-text-v1",
+    benchmarks=tuple(BENCHMARK_ORDER),
+    build=_table2_text,
+)

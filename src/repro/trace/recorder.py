@@ -100,6 +100,11 @@ class PathTrace:
             self.path_ids.min() < 0 or self.path_ids.max() >= len(table)
         ):
             raise TraceError("path_ids reference paths outside the table")
+        # The occurrence array is content: the engine's trace_digest is
+        # memoized per trace object, so mutating it in place would
+        # silently re-serve a stale digest (and poison the sweep cache).
+        # Everything downstream only reads the array.
+        self.path_ids.flags.writeable = False
         self._cache: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -121,6 +126,9 @@ class PathTrace:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # Unpickling materializes a fresh, writeable array; restore the
+        # immutability invariant __init__ establishes.
+        self.path_ids.flags.writeable = False
         self._cache = {}
 
     # ------------------------------------------------------------------

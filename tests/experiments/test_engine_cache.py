@@ -5,6 +5,9 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import pickle
+import stat
 
 import pytest
 
@@ -153,6 +156,78 @@ def test_non_finite_point_is_a_counted_failed_store(tmp_path):
     assert cache.stats.store_failures == 1
     assert cache.get(key) is None
     assert cache.stats.invalidations == 0  # no partial entry on disk
+
+
+def test_digest_memo_detects_path_ids_reassignment(synthetic_trace):
+    """Regression: the digest memo used to guard only on the path-table
+    size, so reassigning a trace's occurrence array (same table) served
+    the stale digest — poisoning every cache key derived from it."""
+    trace = synthetic_trace([0.5, 0.5], size=200, seed=3)
+    before = trace_digest(trace)
+    assert trace_digest(trace) == before  # memo hit, same content
+    trace.path_ids = trace.path_ids[:100]  # same table, new occurrences
+    after = trace_digest(trace)
+    assert after != before
+    # And the recomputed digest is itself memoized consistently.
+    assert trace_digest(trace) == after
+
+
+def test_trace_occurrence_array_is_frozen(synthetic_trace):
+    """In-place mutation — the memo guard's blind spot — is ruled out
+    at the source: PathTrace freezes its occurrence array, including
+    after a pickle round-trip (the engine ships traces to workers)."""
+    trace = synthetic_trace([0.5, 0.5], size=100)
+    with pytest.raises(ValueError):
+        trace.path_ids[0] = trace.path_ids[1]
+    revived = pickle.loads(pickle.dumps(trace))
+    with pytest.raises(ValueError):
+        revived.path_ids[0] = revived.path_ids[1]
+
+
+@pytest.mark.parametrize("umask", [0o022, 0o027, 0o077])
+def test_put_honors_process_umask(tmp_path, umask):
+    """Regression: entries were published with mkstemp's private 0600
+    mode, so a cache shared between users (or CI jobs) was unreadable
+    to everyone but its creator — silent invalidation churn.  Entries
+    must get exactly the mode a plain ``open(path, "w")`` would."""
+    cache = SweepCache(tmp_path / "cache")
+    key = cache_key("3" * 64, "net", 10)
+    previous = os.umask(umask)
+    try:
+        cache.put(key, SweepPoint("x", "net", 10, 1.0, 90.0, 50.0, 5, 4))
+    finally:
+        os.umask(previous)
+    mode = stat.S_IMODE(cache.entry_path(key).stat().st_mode)
+    assert mode == 0o666 & ~umask
+
+
+def test_quarantine_falls_back_to_delete_across_devices(
+    tmp_path, monkeypatch, caplog
+):
+    """When the rename to ``<key>.corrupt`` fails (EXDEV, unwritable
+    target), the poison must still be removed so it can never be
+    re-parsed — deletion is the last resort."""
+    cache = SweepCache(tmp_path / "cache")
+    key = cache_key("4" * 64, "net", 10)
+    cache.put(key, SweepPoint("x", "net", 10, 1.0, 90.0, 50.0, 5, 4))
+    _corrupt(cache.entry_path(key), b"not json")
+
+    def cross_device(src, dst):
+        raise OSError(18, "Invalid cross-device link")
+
+    monkeypatch.setattr(os, "replace", cross_device)
+    with caplog.at_level(
+        logging.WARNING, logger="repro.experiments.engine.cache"
+    ):
+        assert cache.get(key) is None
+    assert cache.stats.quarantined == 1
+    assert cache.stats.invalidations == 1
+    assert not cache.entry_path(key).exists()  # poison gone
+    assert not cache.quarantine_path(key).exists()  # rename failed
+    monkeypatch.undo()
+    # The next lookup is a plain miss; a fresh store heals the key.
+    assert cache.get(key) is None
+    assert cache.stats.invalidations == 1
 
 
 def test_round_trip_preserves_exact_floats(tmp_path):

@@ -152,6 +152,86 @@ def test_metrics_leave_output_byte_identical(capsys, tmp_path):
     assert counters["sweep.prediction.outcomes"] == 2
 
 
+def test_experiment_dry_run_cold_then_warm(capsys, tmp_path):
+    """--dry-run stdout is the exact execution plan: the cold plan names
+    the nodes a real run builds; after the run it is empty."""
+    argv = [
+        "run",
+        "table2",
+        "--flow-scale",
+        "0.05",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+    ]
+    assert main(argv + ["--dry-run"]) == 0
+    cold = capsys.readouterr()
+    assert "render:table2@0.05" in cold.out
+    assert "never built" in cold.out
+    assert "1 dirty" in cold.err
+
+    assert main(argv) == 0  # the real run builds exactly that
+    capsys.readouterr()
+
+    assert main(argv + ["--dry-run"]) == 0
+    warm = capsys.readouterr()
+    assert warm.out == ""  # nothing to do, nothing listed
+    assert "0 dirty" in warm.err
+
+
+def test_experiment_dry_run_requires_cache(capsys):
+    assert main(["run", "table2", "--dry-run", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "--no-cache" in err
+
+
+def test_experiment_warm_graph_run_is_byte_identical(capsys, tmp_path):
+    argv = [
+        "run",
+        "table2",
+        "--flow-scale",
+        "0.05",
+        "--out",
+        str(tmp_path / "out"),
+        "--cache-dir",
+        str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "1 dirty" in cold.err
+    assert main(argv + ["--explain"]) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out  # served from the render store
+    assert "0 dirty" in warm.err
+    assert (tmp_path / "out" / "table2.txt").exists()
+
+
+def test_experiment_graph_counters_reach_the_manifest(capsys, tmp_path):
+    manifest = tmp_path / "m.json"
+    argv = [
+        "run",
+        "table2",
+        "--flow-scale",
+        "0.05",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+        "--metrics-json",
+        str(manifest),
+        "--quiet-metrics",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    counters = json.loads(manifest.read_text())["counters"]
+    assert counters["graph.nodes_total"] == 1
+    assert counters["graph.nodes_dirty"] == 1
+    assert counters["graph.renders_executed"] == 1
+    assert main(argv) == 0
+    capsys.readouterr()
+    warm = json.loads(manifest.read_text())["counters"]
+    assert warm["graph.nodes_dirty"] == 0
+    assert warm["graph.nodes_skipped"] == 1
+    assert warm["graph.renders_served"] == 1
+
+
 def test_interrupt_exits_130_with_partial_manifest(
     capsys, tmp_path, monkeypatch
 ):
