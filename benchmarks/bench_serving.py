@@ -16,6 +16,8 @@ spot-checked byte-identical against the standalone offline
 
 from __future__ import annotations
 
+import dataclasses
+import tempfile
 import time
 
 import numpy as np
@@ -53,6 +55,10 @@ MIN_EVENTS_PER_SEC = 100_000.0
 
 DELAY = 50
 SEED = 7
+
+#: The durable leg (checkpoints + WAL on local disk) must stay within
+#: this fraction of the in-memory throughput floor.
+DURABLE_FLOOR_FRACTION = 0.8
 
 
 def test_serving_load(results_dir):
@@ -107,12 +113,39 @@ def test_serving_load(results_dir):
     assert counters["serving.ingested_events"] == report.events
     assert counters["serving.tenants_closed"] == tenants
 
+    # Durable leg: same corpus and concurrency with checkpoints + WAL
+    # on local disk, at a cadence that snapshots every tenant several
+    # times mid-stream.  Crash safety must not cost more than a
+    # bounded fraction of throughput.
+    durable_config = dataclasses.replace(
+        config,
+        server=dataclasses.replace(
+            config.server, checkpoint_interval_batches=8
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as state_dir:
+        durable_start = time.perf_counter()
+        durable_report = run_load(
+            durable_config, corpus=corpus, state_dir=state_dir
+        )
+        durable_wall_s = time.perf_counter() - durable_start
+    assert durable_report.shed_batches == 0
+    assert durable_report.events == report.events
+    assert durable_report.server_stats["checkpoints"] > 0
+
     gate_armed = BENCH_FLOW_SCALE >= 1.0
+    durable_floor = MIN_EVENTS_PER_SEC * DURABLE_FLOOR_FRACTION
     if gate_armed:
         assert tenants >= 200, tenants
         assert report.events_per_sec >= MIN_EVENTS_PER_SEC, (
             f"serving ingest {report.events_per_sec:,.0f} events/sec "
             f"is below the {MIN_EVENTS_PER_SEC:,.0f} floor"
+        )
+        assert durable_report.events_per_sec >= durable_floor, (
+            f"durable serving ingest "
+            f"{durable_report.events_per_sec:,.0f} events/sec is below "
+            f"{DURABLE_FLOOR_FRACTION:.0%} of the in-memory floor "
+            f"({durable_floor:,.0f})"
         )
 
     text = "\n".join(
@@ -121,6 +154,14 @@ def test_serving_load(results_dir):
             "----------------------",
             render_report(report),
             f"total wall (incl. close): {wall_s:.3f}s",
+            "",
+            "Durable leg (checkpoints + WAL)",
+            "-------------------------------",
+            render_report(durable_report),
+            f"total wall (incl. close): {durable_wall_s:.3f}s",
+            f"durable/in-memory events/sec: "
+            f"{durable_report.events_per_sec / report.events_per_sec:.2f}x",
+            "",
             f"gate armed:          {gate_armed}",
         ]
     )
@@ -135,5 +176,11 @@ def test_serving_load(results_dir):
             "delay": DELAY,
             "wall_seconds": wall_s,
             **report.to_dict(),
+            "durable": {
+                "floor_fraction": DURABLE_FLOOR_FRACTION,
+                "min_events_per_sec": durable_floor,
+                "wall_seconds": durable_wall_s,
+                **durable_report.to_dict(),
+            },
         },
     )

@@ -42,8 +42,10 @@ and the partial manifest is written with ``"interrupted": true``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
+import tempfile
 
 from repro.dynamo import DynamoSystem
 from repro.errors import ReproError, SweepInterrupted
@@ -60,13 +62,19 @@ from repro.metrics import counter_space, hot_path_set
 from repro.obs import Registry, RunRecorder, get_registry, render_summary
 from repro.resilience import DEFAULT_POLICY, RetryPolicy
 from repro.serving import (
+    ChaosConfig,
     LoadgenConfig,
     PredictionServer,
     ServerConfig,
     ServingTCPServer,
     build_corpus,
+    default_plan,
+    render_chaos_report,
     render_report,
+    run_chaos,
     run_load,
+    schedule_steps,
+    serve_until_drained,
 )
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import summarize
@@ -328,6 +336,11 @@ def _server_config(args: argparse.Namespace) -> ServerConfig:
         max_queued_events=args.max_queued_events,
         memory_budget_bytes=args.memory_budget,
         retry_after_seconds=args.retry_after,
+        checkpoint_interval_batches=(
+            args.checkpoint_interval
+            if args.checkpoint_interval is not None
+            else ServerConfig.checkpoint_interval_batches
+        ),
     )
 
 
@@ -340,23 +353,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     programs = {stream.name: stream.program for stream in corpus}
-    prediction = PredictionServer(_server_config(args))
+    config = _server_config(args)
+    state_dir = args.state_dir
+    if state_dir is not None and pathlib.Path(state_dir, "meta.json").exists():
+        prediction = PredictionServer.restore(state_dir, programs, config=config)
+        resumed = int(prediction.stats()["tenants_opened"])
+        print(
+            f"restored {resumed} tenant sessions from {state_dir}",
+            file=sys.stderr,
+        )
+    else:
+        prediction = PredictionServer(config, state_dir=state_dir)
     server = ServingTCPServer((args.host, args.port), prediction, programs)
     print(
         f"serving on {args.host}:{server.port} "
         f"({len(programs)} registered programs: "
-        f"{', '.join(sorted(programs))})"
+        f"{', '.join(sorted(programs))})",
+        flush=True,
     )
-    try:
-        server.serve_forever(poll_interval=0.5)
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        server.server_close()
-    return 0
+    return serve_until_drained(server, drain_timeout=args.drain_timeout)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """The ``loadtest --chaos`` leg: faults injected mid-load, recovered
+    predictions checked byte-for-byte against an uninterrupted run."""
+    registry = _metrics_registry(args)
+    recorder = _run_recorder(args)
+    obs = get_registry(registry)
+    config = ChaosConfig(
+        seed=args.seed,
+        delay=args.delay,
+        num_shards=args.shards,
+        tcp=not args.no_wire,
+    )
+    if args.checkpoint_interval is not None:
+        config = dataclasses.replace(
+            config, checkpoint_interval_batches=args.checkpoint_interval
+        )
+    config = dataclasses.replace(
+        config, faults=default_plan(schedule_steps(config))
+    )
+    with obs.phase("chaos"):
+        if args.state_dir is not None:
+            report = run_chaos(config, args.state_dir, obs=registry)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = run_chaos(config, tmp, obs=registry)
+    print(render_chaos_report(report))
+    _finish_metrics(args, registry, recorder)
+    return 0 if report.equivalent else 1
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.chaos:
+        return _cmd_chaos(args)
     registry = _metrics_registry(args)
     recorder = _run_recorder(args)
     obs = get_registry(registry)
@@ -371,7 +421,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         server=_server_config(args),
     )
     with obs.phase("loadtest"):
-        report = run_load(config, obs=registry)
+        report = run_load(config, obs=registry, state_dir=args.state_dir)
     print(render_report(report))
     _finish_metrics(args, registry, recorder)
     return 0
@@ -646,6 +696,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="retry hint attached to backpressure rejections",
         )
         p.add_argument(
+            "--checkpoint-interval",
+            type=int,
+            default=None,
+            metavar="BATCHES",
+            help=(
+                "durable session snapshot cadence in applied batches "
+                "(default 64, or 3 under --chaos; only meaningful "
+                "with --state-dir or --chaos)"
+            ),
+        )
+        p.add_argument(
             "--streams",
             type=int,
             default=4,
@@ -669,6 +730,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable checkpoint/WAL directory; if it already holds "
+            "server state the sessions are restored from it"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "bound on waiting for in-flight batches during SIGTERM "
+            "drain (default: wait indefinitely)"
+        ),
+    )
     add_server_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -698,6 +778,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-wire",
         action="store_true",
         help="skip wire encode/decode and hand batches in-process",
+    )
+    loadtest.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run the durable leg: checkpoint/WAL state under DIR "
+            "(must be empty); with --chaos, where the harness keeps "
+            "the server-under-test's state"
+        ),
+    )
+    loadtest.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "run the serving chaos harness instead of a throughput "
+            "replay: kill/corrupt/lost-ack/restart faults injected "
+            "mid-load, recovered predictions compared byte-for-byte "
+            "against an uninterrupted run (exit 1 on any mismatch); "
+            "--no-wire switches it from TCP to the in-process driver"
+        ),
     )
     add_server_flags(loadtest)
     add_metrics_flags(loadtest)

@@ -72,6 +72,22 @@ class WireFormatError(TraceError):
     """
 
 
+class FrameTooLargeError(WireFormatError):
+    """A transport frame's length prefix exceeds the configured cap.
+
+    Raised *before* any allocation is attempted, so a hostile or
+    corrupt length prefix can never drive an unbounded read.  Carries
+    the declared and permitted sizes for diagnostics.
+    """
+
+    def __init__(self, declared: int, limit: int):
+        self.declared = declared
+        self.limit = limit
+        super().__init__(
+            f"frame of {declared} bytes exceeds the {limit}-byte limit"
+        )
+
+
 class ProfilingError(ReproError):
     """A profiling scheme was misused or fed inconsistent data."""
 
@@ -184,6 +200,75 @@ class BackpressureError(ServingError):
             f"({queued_events}/{capacity} events queued); "
             f"retry after {retry_after_seconds:.3f}s"
         )
+
+
+class SequenceError(ServingError):
+    """A tenant batch arrived with an inadmissible sequence number.
+
+    ``expected`` is the next sequence number the server will apply for
+    the tenant; ``got`` is what the batch carried.  A *gap* (``got >
+    expected``) means the client skipped ahead and must back up; a
+    *rewrite* (``got`` already applied but with a different payload
+    digest than the original) means the client is trying to change
+    history and the stream cannot be trusted.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        expected: int,
+        got: int,
+        reason: str = "gap",
+    ):
+        self.tenant_id = tenant_id
+        self.expected = expected
+        self.got = got
+        self.reason = reason
+        super().__init__(
+            f"tenant {tenant_id!r} batch seq {got} is inadmissible "
+            f"({reason}); next expected seq is {expected}"
+        )
+
+
+class DrainingError(ServingError):
+    """The server is draining and admits no new work; retry elsewhere.
+
+    Raised (and sent as a typed reply) for every admission attempted
+    after :meth:`~repro.serving.server.PredictionServer.drain` begins.
+    ``retry_after_seconds`` hints when a replacement server is expected
+    to be reachable (a rolling restart's handover window).
+    """
+
+    def __init__(self, retry_after_seconds: float):
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            "server is draining and admits no new work; retry after "
+            f"{retry_after_seconds:.3f}s"
+        )
+
+
+class ConnectionLostError(ServingError):
+    """The serving client lost its connection past the retry budget.
+
+    Raised by :class:`~repro.serving.transport.ServingClient` after its
+    bounded reconnect-and-retry (for idempotent operations) or
+    immediately (for non-idempotent ones).  The final transport failure
+    is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        self.attempts = attempts
+        suffix = f" after {attempts} attempts" if attempts else ""
+        super().__init__(message + suffix)
+
+
+class CheckpointError(ServingError):
+    """A durable serving checkpoint could not be read or is invalid.
+
+    Torn WAL tails are *not* errors (they are truncated on open, by
+    design); this covers unrecoverable store states: foreign magic, a
+    version this build does not speak, or a corrupt snapshot body.
+    """
 
 
 class SweepInterrupted(ExperimentError):

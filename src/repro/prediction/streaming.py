@@ -126,6 +126,54 @@ class NETSession:
         return False
 
     # ------------------------------------------------------------------
+    # Durable state (serving checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The session's complete mutable state as plain JSON-able data.
+
+        Together with the constructor parameters this is everything a
+        restored session needs to continue the stream byte-identically;
+        :meth:`load_state` is the inverse.  Counter and capture maps are
+        emitted as ``[key, value]`` pairs (JSON objects cannot carry int
+        keys), in insertion order.
+        """
+        return {
+            "counters": [
+                [int(k), int(v)] for k, v in self._counters.items()
+            ],
+            "captured": [
+                [int(k), int(v)] for k, v in self._captured.items()
+            ],
+            "predicted": [int(p) for p in self._predicted],
+            "times": [int(t) for t in self._times],
+            "flow": self._flow,
+            "prev_ends_backward": bool(self._prev_ends_backward),
+            "increments": self._increments,
+            "collection_blocks": self._collection_blocks,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the exact state captured by :meth:`state_dict`.
+
+        Only valid on a fresh session (nothing observed yet); the
+        configuration (τ, counting mode) comes from the constructor and
+        is *not* part of the state.
+        """
+        if self._flow:
+            raise PredictionError(
+                "cannot load state into a session that already "
+                f"observed {self._flow} occurrences"
+            )
+        self._counters = {int(k): int(v) for k, v in state["counters"]}
+        self._captured = {int(k): int(v) for k, v in state["captured"]}
+        self._predicted = [int(p) for p in state["predicted"]]
+        self._times = [int(t) for t in state["times"]]
+        self._flow = int(state["flow"])
+        self._prev_ends_backward = bool(state["prev_ends_backward"])
+        self._increments = int(state["increments"])
+        self._collection_blocks = int(state["collection_blocks"])
+
+    # ------------------------------------------------------------------
     @property
     def flow(self) -> int:
         """Occurrences observed so far."""

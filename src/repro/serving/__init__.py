@@ -17,11 +17,26 @@ Layers, bottom up:
   extraction + NET pipeline and its memory meter.
 - :mod:`repro.serving.server` — sharded multi-tenant coordination:
   admission, backpressure, FIFO turnstiles, budget eviction.
-- :mod:`repro.serving.transport` — a thin TCP request/reply skin.
+- :mod:`repro.serving.durability` — per-shard checkpoint/WAL store
+  making tenant streams crash-safe (snapshots, digest log, torn-tail
+  recovery).
+- :mod:`repro.serving.transport` — a thin TCP request/reply skin with
+  exactly-once sequence numbers and bounded client retry.
 - :mod:`repro.serving.loadgen` — the replay load generator driving
   hundreds of interleaved tenant streams for benchmarks and tests.
+- :mod:`repro.serving.chaos` — the chaos harness proving recovered
+  predictions byte-identical to an uninterrupted run.
 """
 
+from repro.serving.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    default_plan,
+    render_chaos_report,
+    run_chaos,
+    schedule_steps,
+)
+from repro.serving.durability import DurabilityStore, TenantRecovery
 from repro.serving.loadgen import (
     LoadgenConfig,
     LoadReport,
@@ -40,8 +55,10 @@ from repro.serving.server import (
 )
 from repro.serving.session import HotPathSelection, TenantSession
 from repro.serving.transport import (
+    SEQ_AUTO,
     ServingClient,
     ServingTCPServer,
+    serve_until_drained,
     start_background,
 )
 from repro.serving.wire import (
@@ -49,6 +66,7 @@ from repro.serving.wire import (
     HEADER_BYTES,
     WIRE_MAGIC,
     WIRE_VERSION,
+    batch_digest,
     decode_batch,
     encode_batch,
 )
@@ -56,8 +74,12 @@ from repro.serving.wire import (
 __all__ = [
     "BYTES_PER_EVENT",
     "HEADER_BYTES",
+    "SEQ_AUTO",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "ChaosConfig",
+    "ChaosReport",
+    "DurabilityStore",
     "HotPathSelection",
     "IngestResult",
     "LoadReport",
@@ -66,15 +88,22 @@ __all__ = [
     "ServerConfig",
     "ServingClient",
     "ServingTCPServer",
+    "TenantRecovery",
     "TenantReport",
     "TenantSession",
     "TenantStream",
+    "batch_digest",
     "build_corpus",
     "build_stream",
     "decode_batch",
+    "default_plan",
     "encode_batch",
+    "render_chaos_report",
     "render_report",
+    "run_chaos",
     "run_load",
+    "schedule_steps",
+    "serve_until_drained",
     "standalone_outcome",
     "start_background",
 ]

@@ -1,0 +1,424 @@
+"""Durable checkpoint/WAL store for the prediction server.
+
+A server restart must not lose tenant streams: this module persists,
+per shard, (1) **snapshots** — the complete
+:meth:`~repro.serving.session.TenantSession.snapshot` state of a tenant
+at a batch boundary — and (2) a **write-ahead digest log** recording the
+``(tenant, seq, digest)`` of every batch applied since, plus tenant
+open/close lifecycle records.  Together they let
+:meth:`~repro.serving.server.PredictionServer.restore` rebuild every
+tenant at its last snapshot and verify that the batches a reconnecting
+client re-sends are byte-identical to the ones originally applied —
+the exactly-once contract.
+
+Crash-safety mechanics, in the same spirit as the sweep cache:
+
+* snapshots are written to a temp file, fsynced, and published with
+  ``os.replace`` — a reader sees the old snapshot or the new one,
+  never a torn one;
+* WAL records are CRC-framed (``u32 length + u32 crc32 + payload``);
+  on open the log is scanned and **truncated at the first torn or
+  corrupt record** — a crash mid-append costs at most the record being
+  written, which the client will simply re-send;
+* the WAL is rotated (rewritten with only live records) once it grows
+  past a threshold, so long-lived servers do not accrete unbounded
+  history.
+
+Durability level: appends are flushed to the OS on every record (a
+*process* crash loses nothing) and fsynced at snapshot, drain and
+rotation points (bounding what a *machine* crash can lose to the
+window since the last snapshot — exactly the torn-tail scenario the
+recovery path and chaos harness exercise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+
+#: Leading bytes of a WAL file ("Repro Hot-path WAL").
+WAL_MAGIC = b"RHWL"
+
+#: Leading bytes of a snapshot file ("Repro Hot-path ChecKpoint").
+CKPT_MAGIC = b"RHCK"
+
+#: The one store layout version this build reads and writes.
+STORE_VERSION = 1
+
+_FILE_HEADER = struct.Struct("<4sI")
+_RECORD = struct.Struct("<II")
+
+
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def checkpoint_name(tenant_id: str) -> str:
+    """Filesystem-safe snapshot file name for one tenant.
+
+    Tenant ids are arbitrary UTF-8; the file name is a content hash so
+    ids with path separators (or ids differing only in case on
+    case-folding filesystems) can never collide or escape the shard
+    directory.  The id itself travels inside the snapshot payload.
+    """
+    digest = hashlib.sha1(tenant_id.encode("utf-8")).hexdigest()
+    return f"t-{digest[:20]}.ckpt"
+
+
+@dataclass
+class TenantRecovery:
+    """Everything the recovery scan learned about one tenant.
+
+    ``snapshot`` is the session state to restore (``None`` when the
+    tenant was opened but never checkpointed — it restarts from the
+    program entry); ``snapshot_seq`` is the last batch folded into it
+    (``-1`` for none).  ``durable_seq`` is the highest batch seq the WAL
+    saw, and ``digests`` maps every logged seq to its payload digest so
+    re-sent batches can be verified byte-identical before re-applying.
+    """
+
+    tenant_id: str
+    program_name: str | None = None
+    snapshot: dict | None = None
+    snapshot_seq: int = -1
+    durable_seq: int = -1
+    digests: dict[int, int] = field(default_factory=dict)
+
+
+class ShardStore:
+    """Append-only WAL plus atomic snapshots for one shard's tenants."""
+
+    def __init__(self, directory: pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.directory / "wal.log"
+        #: Records dropped by torn-tail truncation on open.
+        self.truncated_records = 0
+        #: Bytes dropped by torn-tail truncation on open.
+        self.truncated_bytes = 0
+        #: Live record count (survivors on open + appends since).
+        self.record_count = 0
+        self._records = self._recover_wal()
+        self._handle = open(self.wal_path, "ab")
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+    def _recover_wal(self) -> list[dict]:
+        """Read every intact record; truncate the file after the last.
+
+        A torn tail — a partial frame, a CRC mismatch, or an unparsable
+        payload — marks the end of the durable prefix: everything from
+        there on is discarded (counted in :attr:`truncated_records` /
+        :attr:`truncated_bytes`), exactly the semantics of a crash
+        mid-append.
+        """
+        if not self.wal_path.exists():
+            with open(self.wal_path, "wb") as handle:
+                handle.write(_FILE_HEADER.pack(WAL_MAGIC, STORE_VERSION))
+            return []
+        data = self.wal_path.read_bytes()
+        if len(data) < _FILE_HEADER.size:
+            # Torn mid-header: start the log over.
+            self.truncated_bytes += len(data)
+            with open(self.wal_path, "wb") as handle:
+                handle.write(_FILE_HEADER.pack(WAL_MAGIC, STORE_VERSION))
+            return []
+        magic, version = _FILE_HEADER.unpack_from(data, 0)
+        if magic != WAL_MAGIC:
+            raise CheckpointError(
+                f"{self.wal_path} is not a serving WAL "
+                f"(magic {magic!r})"
+            )
+        if version != STORE_VERSION:
+            raise CheckpointError(
+                f"{self.wal_path} has store version {version}; this "
+                f"build speaks version {STORE_VERSION}"
+            )
+        records: list[dict] = []
+        offset = _FILE_HEADER.size
+        good_end = offset
+        while offset + _RECORD.size <= len(data):
+            length, crc = _RECORD.unpack_from(data, offset)
+            begin = offset + _RECORD.size
+            end = begin + length
+            if end > len(data):
+                break  # torn mid-payload
+            payload = data[begin:end]
+            if _crc(payload) != crc:
+                break  # corrupt frame
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break  # CRC-valid garbage cannot be trusted either
+            records.append(record)
+            offset = end
+            good_end = end
+        if good_end < len(data):
+            self.truncated_records += 1
+            self.truncated_bytes += len(data) - good_end
+            with open(self.wal_path, "r+b") as handle:
+                handle.truncate(good_end)
+        self.record_count = len(records)
+        return records
+
+    def records(self) -> list[dict]:
+        """The intact records recovered when the store was opened."""
+        return list(self._records)
+
+    def append(self, record: dict, sync: bool = False) -> None:
+        """Append one CRC-framed record, flushed to the OS."""
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        self._handle.write(_RECORD.pack(len(payload), _crc(payload)))
+        self._handle.write(payload)
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+        self.record_count += 1
+
+    def sync(self) -> None:
+        """fsync the WAL (snapshot/drain barrier)."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def rotate(self, live_records: list[dict]) -> None:
+        """Atomically rewrite the WAL keeping only ``live_records``."""
+        tmp = self.wal_path.with_suffix(".log.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(_FILE_HEADER.pack(WAL_MAGIC, STORE_VERSION))
+            for record in live_records:
+                payload = json.dumps(
+                    record, separators=(",", ":"), sort_keys=True
+                ).encode("utf-8")
+                handle.write(
+                    _RECORD.pack(len(payload), _crc(payload))
+                )
+                handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.wal_path)
+        self._handle = open(self.wal_path, "ab")
+        self.record_count = len(live_records)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def write_snapshot(self, tenant_id: str, payload: dict) -> None:
+        """Atomically publish ``tenant_id``'s snapshot (fsync + rename)."""
+        target = self.directory / checkpoint_name(tenant_id)
+        body = json.dumps(
+            payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        tmp = target.with_suffix(".ckpt.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(_FILE_HEADER.pack(CKPT_MAGIC, STORE_VERSION))
+            handle.write(_RECORD.pack(len(body), _crc(body)))
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        # The WAL records referenced by the snapshot must not outlive a
+        # machine crash that the snapshot survives.
+        self.sync()
+
+    def load_snapshot(self, path: pathlib.Path) -> dict:
+        """Read one snapshot file, validating magic, version and CRC."""
+        data = path.read_bytes()
+        minimum = _FILE_HEADER.size + _RECORD.size
+        if len(data) < minimum:
+            raise CheckpointError(
+                f"{path} is {len(data)} bytes, shorter than the "
+                f"{minimum}-byte snapshot envelope"
+            )
+        magic, version = _FILE_HEADER.unpack_from(data, 0)
+        if magic != CKPT_MAGIC:
+            raise CheckpointError(
+                f"{path} is not a serving snapshot (magic {magic!r})"
+            )
+        if version != STORE_VERSION:
+            raise CheckpointError(
+                f"{path} has store version {version}; this build "
+                f"speaks version {STORE_VERSION}"
+            )
+        length, crc = _RECORD.unpack_from(data, _FILE_HEADER.size)
+        body = data[_FILE_HEADER.size + _RECORD.size :]
+        if len(body) != length or _crc(body) != crc:
+            raise CheckpointError(f"{path} snapshot body is corrupt")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"{path} snapshot body is not valid JSON"
+            ) from error
+
+    def load_snapshots(self) -> dict[str, dict]:
+        """All tenant snapshots in the shard, keyed by tenant id."""
+        snapshots: dict[str, dict] = {}
+        for path in sorted(self.directory.glob("t-*.ckpt")):
+            payload = self.load_snapshot(path)
+            snapshots[payload["tenant_id"]] = payload
+        return snapshots
+
+    def delete_snapshot(self, tenant_id: str) -> None:
+        """Remove ``tenant_id``'s snapshot file if present."""
+        target = self.directory / checkpoint_name(tenant_id)
+        try:
+            target.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class DurabilityStore:
+    """The server-wide store: one :class:`ShardStore` per shard.
+
+    The state directory carries a ``meta.json`` pinning the layout
+    version and shard count — tenants are hashed onto shards, so a
+    restore with a different shard count would look for state in the
+    wrong place; that mismatch is an error, not silent data loss.
+    """
+
+    def __init__(self, state_dir: str | pathlib.Path, num_shards: int):
+        self.state_dir = pathlib.Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.num_shards = num_shards
+        meta_path = self.state_dir / "meta.json"
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except json.JSONDecodeError as error:
+                raise CheckpointError(
+                    f"{meta_path} is not valid JSON"
+                ) from error
+            if meta.get("version") != STORE_VERSION:
+                raise CheckpointError(
+                    f"{meta_path} has store version "
+                    f"{meta.get('version')}; this build speaks "
+                    f"version {STORE_VERSION}"
+                )
+            if meta.get("num_shards") != num_shards:
+                raise CheckpointError(
+                    f"state dir was written with "
+                    f"{meta.get('num_shards')} shards; this server "
+                    f"runs {num_shards} — shard routing would not "
+                    "find existing tenants"
+                )
+        else:
+            tmp = meta_path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(
+                    {"version": STORE_VERSION, "num_shards": num_shards}
+                )
+            )
+            os.replace(tmp, meta_path)
+        self.shards = [
+            ShardStore(self.state_dir / f"shard-{index:02d}")
+            for index in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    def recover(self) -> list[dict[str, TenantRecovery]]:
+        """Scan every shard into per-tenant recovery state.
+
+        Applies the lifecycle records in order: ``open`` registers a
+        tenant, ``batch`` advances its durable seq and digest map, and
+        ``close`` retires it (closed tenants are dropped and any stale
+        snapshot file — a crash between the close record and the
+        snapshot unlink — is healed here).
+        """
+        recovered: list[dict[str, TenantRecovery]] = []
+        for shard in self.shards:
+            tenants: dict[str, TenantRecovery] = {}
+            closed: set[str] = set()
+            for payload in shard.load_snapshots().values():
+                tenant = TenantRecovery(
+                    tenant_id=payload["tenant_id"],
+                    program_name=payload.get("program_name"),
+                    snapshot=payload["session"],
+                    snapshot_seq=int(payload["seq"]),
+                    durable_seq=int(payload["seq"]),
+                )
+                tenants[tenant.tenant_id] = tenant
+            for record in shard.records():
+                kind = record.get("k")
+                tid = record.get("t")
+                if kind == "open":
+                    entry = tenants.get(tid)
+                    if entry is None:
+                        entry = TenantRecovery(tenant_id=tid)
+                        tenants[tid] = entry
+                    if entry.program_name is None:
+                        entry.program_name = record.get("p")
+                    closed.discard(tid)
+                elif kind == "batch":
+                    entry = tenants.get(tid)
+                    if entry is None:
+                        entry = TenantRecovery(tenant_id=tid)
+                        tenants[tid] = entry
+                    seq = int(record["s"])
+                    entry.digests[seq] = int(record["d"])
+                    if seq > entry.durable_seq:
+                        entry.durable_seq = seq
+                elif kind == "close":
+                    tenants.pop(tid, None)
+                    closed.add(tid)
+            for tid in closed:
+                shard.delete_snapshot(tid)
+            recovered.append(tenants)
+        return recovered
+
+    def live_records(
+        self, shard_index: int, tenants: dict[str, "object"]
+    ) -> list[dict]:
+        """The records a rotation of one shard's WAL must keep.
+
+        ``tenants`` maps tenant id to an object exposing
+        ``program_name``, ``last_snapshot_seq`` and ``digests`` (the
+        server's live tenant records): every open tenant keeps its
+        ``open`` record and the batch records newer than its snapshot.
+        """
+        records: list[dict] = []
+        for tid, tenant in tenants.items():
+            name = getattr(tenant, "program_name", None)
+            if name is not None:
+                records.append({"k": "open", "t": tid, "p": name})
+            snapshot_seq = getattr(tenant, "last_snapshot_seq", -1)
+            for seq in sorted(getattr(tenant, "digests", {})):
+                if seq > snapshot_seq:
+                    records.append(
+                        {
+                            "k": "batch",
+                            "t": tid,
+                            "s": seq,
+                            "d": tenant.digests[seq],
+                        }
+                    )
+        return records
+
+    def stats(self) -> dict:
+        """Aggregate store counters (torn-tail truncation, WAL size)."""
+        return {
+            "wal_records": sum(s.record_count for s in self.shards),
+            "truncated_records": sum(
+                s.truncated_records for s in self.shards
+            ),
+            "truncated_bytes": sum(
+                s.truncated_bytes for s in self.shards
+            ),
+        }
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.cfg import generate_program, procedure_loops
 from repro.cfg.program import Program
-from repro.errors import BackpressureError, ServingError
+from repro.errors import BackpressureError, DrainingError, ServingError
 from repro.obs.core import Registry, get_registry
 from repro.prediction.net import NETPredictor
 from repro.serving.server import PredictionServer, ServerConfig
@@ -253,8 +253,12 @@ def _replay_worker(
             tid: corpus[int(tid.split("-")[-1]) % len(corpus)]
             for tid in tenant_ids
         }
+        # Durable servers take explicit sequence numbers (the batch's
+        # index within its stream) so a crash-interrupted load test can
+        # resume exactly-once; in-memory runs keep the auto-seq path.
+        explicit_seq = server.durable
         for tid, stream in streams.items():
-            server.open_tenant(tid, stream.program)
+            server.open_tenant(tid, stream.program, program_name=stream.name)
         cursors = {tid: 0 for tid in tenant_ids}
         start_barrier.wait()
         live = list(tenant_ids)
@@ -275,8 +279,12 @@ def _replay_worker(
                 while True:
                     started = time.perf_counter()
                     try:
-                        result = server.ingest(tid, payload)
-                    except BackpressureError as pushback:
+                        result = server.ingest(
+                            tid,
+                            payload,
+                            seq=index if explicit_seq else None,
+                        )
+                    except (BackpressureError, DrainingError) as pushback:
                         attempts += 1
                         state.retries += 1
                         if attempts > config.max_retries:
@@ -300,6 +308,7 @@ def run_load(
     config: LoadgenConfig | None = None,
     obs: Registry | None = None,
     corpus: list[TenantStream] | None = None,
+    state_dir: str | None = None,
 ) -> LoadReport:
     """Run one load-generation session against a fresh server.
 
@@ -308,14 +317,16 @@ def run_load(
     ``config.workers`` threads, closes every tenant, and returns the
     measured :class:`LoadReport`.  With ``obs`` set, the server's
     accounting is published under ``serving.*`` and the client-side
-    measurements under ``loadgen.*``.
+    measurements under ``loadgen.*``.  With ``state_dir``, the server
+    runs durably (checkpoints + WAL) and batches carry explicit
+    sequence numbers — the durable leg the serving benchmark gates.
     """
     config = config if config is not None else LoadgenConfig()
     registry = get_registry(obs)
     with registry.span("loadgen.corpus"):
         if corpus is None:
             corpus = build_corpus(config)
-    server = PredictionServer(config.server)
+    server = PredictionServer(config.server, state_dir=state_dir)
 
     tenant_ids = [f"tenant-{i}" for i in range(config.num_tenants)]
     workers = min(config.workers, config.num_tenants)
@@ -388,6 +399,7 @@ def run_load(
         shed_batches=shed,
         server_stats=server.stats(),
     )
+    server.close()
 
     if registry.enabled:
         server.publish(registry.child("serving"))

@@ -39,7 +39,28 @@ exceeded, idle tenants are evicted in LRU order: their session is
 dropped (the counters are exactly the cheap, reconstructible state the
 paper's Table 2 argues NET keeps small) and a later batch readmits them
 with a fresh session that re-warms.  Tenants with queued or in-flight
-work are never evicted.
+work are never evicted.  With durability enabled, eviction checkpoints
+the victim first, so readmission restores the session losslessly
+instead of re-warming.
+
+Durability
+----------
+With a ``state_dir``, the server keeps a per-shard
+:class:`~repro.serving.durability.DurabilityStore`: tenant sessions are
+snapshotted every ``checkpoint_interval_batches`` applied batches (and
+at eviction and drain), and every applied batch's content digest is
+logged to a CRC-framed WAL keyed by the tenant's **sequence number**.
+Sequence numbers make ingest exactly-once: a duplicate (``seq`` already
+applied) is acked without effect after its digest is verified against
+the log, a gap (``seq`` ahead of the stream) is rejected with
+:class:`~repro.errors.SequenceError`, and after
+:meth:`PredictionServer.restore` a client re-sending the batches past
+the last snapshot has them re-applied — verified byte-identical to the
+originals — rebuilding exactly the pre-crash state.  :meth:`drain`
+stops admissions (:class:`~repro.errors.DrainingError`), waits out
+in-flight work, checkpoints every resident tenant and fsyncs, enabling
+a rolling restart where the successor ``restore()``s and tenants
+continue mid-stream.
 """
 
 from __future__ import annotations
@@ -51,11 +72,18 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.cfg.program import Program
-from repro.errors import BackpressureError, ServingError
+from repro.errors import (
+    BackpressureError,
+    CheckpointError,
+    DrainingError,
+    SequenceError,
+    ServingError,
+)
 from repro.obs.core import Registry, get_registry
 from repro.prediction.base import PredictionOutcome
+from repro.serving.durability import DurabilityStore
 from repro.serving.session import HotPathSelection, TenantSession
-from repro.serving.wire import decode_batch
+from repro.serving.wire import batch_digest, decode_batch
 from repro.trace.batch import EventBatch
 
 
@@ -82,6 +110,12 @@ class ServerConfig:
     count_backward_arrivals_only:
         Forwarded to every tenant's NET session (Dynamo counts only
         backward arrivals; see :class:`~repro.prediction.net.NETPredictor`).
+    checkpoint_interval_batches:
+        With durability enabled, snapshot a tenant's session every this
+        many applied batches (eviction and drain snapshot regardless).
+    wal_rotate_records:
+        Rotate a shard's WAL (dropping records covered by snapshots)
+        once it holds more than this many records.
     """
 
     num_shards: int = 8
@@ -91,6 +125,8 @@ class ServerConfig:
     memory_budget_bytes: int | None = None
     retry_after_seconds: float = 0.05
     count_backward_arrivals_only: bool = True
+    checkpoint_interval_batches: int = 64
+    wal_rotate_records: int = 8192
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -106,16 +142,29 @@ class ServerConfig:
             raise ServingError("memory_budget_bytes must be positive")
         if self.retry_after_seconds <= 0:
             raise ServingError("retry_after_seconds must be positive")
+        if self.checkpoint_interval_batches < 1:
+            raise ServingError(
+                "checkpoint_interval_batches must be positive"
+            )
+        if self.wal_rotate_records < 1:
+            raise ServingError("wal_rotate_records must be positive")
 
 
 @dataclass(frozen=True)
 class IngestResult:
-    """Reply to one accepted ingest."""
+    """Reply to one accepted ingest.
+
+    ``duplicate`` marks a batch acked *without effect*: its sequence
+    number was already applied, so the server verified the payload
+    digest against its log and returned success with no selections —
+    the safe-retry half of exactly-once ingest.
+    """
 
     tenant_id: str
     seq: int
     events: int
     selections: tuple[HotPathSelection, ...]
+    duplicate: bool = False
 
 
 @dataclass(frozen=True)
@@ -138,6 +187,7 @@ class TenantReport:
 class _Tenant:
     tenant_id: str
     program: Program
+    program_name: str | None = None
     session: TenantSession | None = None
     queued_events: int = 0
     next_seq: int = 0
@@ -150,10 +200,24 @@ class _Tenant:
     evictions: int = 0
     events_ingested: int = 0
     batches_ingested: int = 0
+    # Durability bookkeeping (unused without a state dir).
+    durable_seq: int = -1
+    last_snapshot_seq: int = -1
+    batches_since_snapshot: int = 0
+    digests: dict[int, int] = field(default_factory=dict)
+    parked_snapshot: dict | None = None
+    unaccounted_bytes: int = 0
+    open_logged: bool = False
+
+
+#: In-memory digest retention per tenant when durability is off (the
+#: window within which a retried duplicate can still be verified).
+_DIGEST_RETENTION = 1024
 
 
 class _Shard:
     __slots__ = (
+        "index",
         "cond",
         "state_lock",
         "tenants",
@@ -162,7 +226,8 @@ class _Shard:
         "stats",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, index: int) -> None:
+        self.index = index
         self.cond = threading.Condition()
         self.state_lock = threading.Lock()
         self.tenants: dict[str, _Tenant] = {}
@@ -178,6 +243,10 @@ class _Shard:
             "readmissions": 0,
             "tenants_opened": 0,
             "tenants_closed": 0,
+            "checkpoints": 0,
+            "restores": 0,
+            "replayed": 0,
+            "dropped": 0,
             "apply_seconds": 0.0,
         }
 
@@ -197,13 +266,99 @@ class PredictionServer:
         config: ServerConfig | None = None,
         admit_hook: Callable[[str, int], None] | None = None,
         apply_hook: Callable[[str, EventBatch], None] | None = None,
+        state_dir: str | None = None,
     ):
         self.config = config if config is not None else ServerConfig()
         self._shards = [
-            _Shard() for _ in range(self.config.num_shards)
+            _Shard(index) for index in range(self.config.num_shards)
         ]
         self._admit_hook = admit_hook
         self._apply_hook = apply_hook
+        self._draining = False
+        self._store = (
+            DurabilityStore(state_dir, self.config.num_shards)
+            if state_dir is not None
+            else None
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        state_dir: str,
+        programs: dict[str, Program],
+        config: ServerConfig | None = None,
+        admit_hook: Callable[[str, int], None] | None = None,
+        apply_hook: Callable[[str, EventBatch], None] | None = None,
+    ) -> "PredictionServer":
+        """Rebuild a server from ``state_dir`` after a crash or drain.
+
+        Every tenant found in the store is re-registered at its last
+        snapshot: its next expected sequence number rewinds to the
+        snapshot (clients learn it via ``expected_seq`` and re-send
+        from there), and the WAL's digest log verifies the re-sent
+        batches are byte-identical to the ones originally applied.
+        Sessions themselves are rebuilt lazily on first ingest.
+        ``programs`` maps registered program names to programs; a
+        recovered tenant naming an unknown program is an error.
+        """
+        server = cls(
+            config,
+            admit_hook=admit_hook,
+            apply_hook=apply_hook,
+            state_dir=state_dir,
+        )
+        for shard, tenants in zip(
+            server._shards, server._store.recover()
+        ):
+            for tenant_id, entry in tenants.items():
+                if entry.program_name is None:
+                    raise CheckpointError(
+                        f"recovered tenant {tenant_id!r} has no "
+                        "program name in the store"
+                    )
+                program = programs.get(entry.program_name)
+                if program is None:
+                    raise CheckpointError(
+                        f"recovered tenant {tenant_id!r} references "
+                        f"program {entry.program_name!r}, which is not "
+                        "in the registry"
+                    )
+                tenant = _Tenant(
+                    tenant_id=tenant_id,
+                    program=program,
+                    program_name=entry.program_name,
+                )
+                tenant.next_seq = entry.snapshot_seq + 1
+                tenant.turn = tenant.next_seq
+                tenant.durable_seq = entry.durable_seq
+                tenant.last_snapshot_seq = entry.snapshot_seq
+                tenant.digests = dict(entry.digests)
+                tenant.parked_snapshot = entry.snapshot
+                tenant.had_session = entry.snapshot is not None
+                if entry.snapshot is not None:
+                    # The tenant-level totals (what TenantReport cites)
+                    # resume from the snapshot; replayed batches past it
+                    # re-increment exactly as the originals did.
+                    tenant.events_ingested = int(
+                        entry.snapshot["events_ingested"]
+                    )
+                    tenant.batches_ingested = int(
+                        entry.snapshot["batches_ingested"]
+                    )
+                tenant.open_logged = True
+                shard.tenants[tenant_id] = tenant
+                shard.stats["tenants_opened"] += 1
+        return server
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun (admissions are rejected)."""
+        return self._draining
+
+    @property
+    def durable(self) -> bool:
+        """Whether the server persists checkpoints to a state dir."""
+        return self._store is not None
 
     # ------------------------------------------------------------------
     # Routing
@@ -218,19 +373,33 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # Tenant lifecycle
     # ------------------------------------------------------------------
-    def open_tenant(self, tenant_id: str, program: Program) -> None:
+    def open_tenant(
+        self,
+        tenant_id: str,
+        program: Program,
+        program_name: str | None = None,
+    ) -> None:
         """Register ``tenant_id`` with its program ahead of ingesting.
 
         Optional — ``ingest`` with ``program=`` performs the same
-        registration on first contact.
+        registration on first contact.  ``program_name`` is the
+        registry name checkpoints record so a restored server can
+        re-associate the tenant with its program; required (here or at
+        first ingest) when durability is enabled.
         """
         shard = self._shard(tenant_id)
         with shard.cond:
-            self._admit_tenant(shard, tenant_id, program)
+            self._admit_tenant(shard, tenant_id, program, program_name)
 
     def _admit_tenant(
-        self, shard: _Shard, tenant_id: str, program: Program | None
+        self,
+        shard: _Shard,
+        tenant_id: str,
+        program: Program | None,
+        program_name: str | None = None,
     ) -> _Tenant:
+        if self._draining:
+            raise DrainingError(self.config.retry_after_seconds)
         tenant = shard.tenants.get(tenant_id)
         if tenant is None:
             if program is None:
@@ -238,7 +407,17 @@ class PredictionServer:
                     f"unknown tenant {tenant_id!r}; open it first (or "
                     "pass its program with the first ingest)"
                 )
-            tenant = _Tenant(tenant_id=tenant_id, program=program)
+            if self._store is not None and program_name is None:
+                raise ServingError(
+                    f"tenant {tenant_id!r} needs a program_name when "
+                    "durability is enabled (checkpoints record the "
+                    "registry name, not the program itself)"
+                )
+            tenant = _Tenant(
+                tenant_id=tenant_id,
+                program=program,
+                program_name=program_name,
+            )
             shard.tenants[tenant_id] = tenant
             shard.stats["tenants_opened"] += 1
         if tenant.closed:
@@ -248,6 +427,17 @@ class PredictionServer:
                 f"tenant {tenant_id!r} stream is poisoned by an earlier "
                 "ingest failure; close and reopen it"
             )
+        if self._store is not None and not tenant.open_logged:
+            # The open record is what lets a restore re-register a
+            # tenant that crashed before its first snapshot.
+            self._store.shards[self.shard_index(tenant_id)].append(
+                {
+                    "k": "open",
+                    "t": tenant_id,
+                    "p": tenant.program_name,
+                }
+            )
+            tenant.open_logged = True
         return tenant
 
     # ------------------------------------------------------------------
@@ -258,6 +448,8 @@ class PredictionServer:
         tenant_id: str,
         payload: EventBatch | bytes | bytearray | memoryview,
         program: Program | None = None,
+        program_name: str | None = None,
+        seq: int | None = None,
     ) -> IngestResult:
         """Apply one batch to ``tenant_id``'s stream.
 
@@ -267,6 +459,16 @@ class PredictionServer:
         :class:`~repro.errors.BackpressureError` when the tenant's
         ingest queue is full and a trace/serving error when the payload
         or stream is invalid.
+
+        ``seq`` is the client-assigned sequence number driving
+        exactly-once ingest.  ``None`` lets the server assign the next
+        number (at-most-once from the client's point of view: a retried
+        batch would be applied twice).  With an explicit ``seq``, a
+        number already applied is acked without effect
+        (``duplicate=True``) after its digest is verified, and a number
+        ahead of the stream raises
+        :class:`~repro.errors.SequenceError` — so a client may retry
+        any batch blindly until it is acknowledged.
         """
         batch = (
             payload
@@ -276,9 +478,57 @@ class PredictionServer:
         n = len(batch)
         shard = self._shard(tenant_id)
         config = self.config
+        durable = self._store is not None
+        # Hashed outside any lock; only needed when the batch can be
+        # compared against history (explicit seq) or must enter it.
+        digest = (
+            batch_digest(batch)
+            if durable or seq is not None
+            else None
+        )
 
         with shard.cond:
-            tenant = self._admit_tenant(shard, tenant_id, program)
+            tenant = self._admit_tenant(
+                shard, tenant_id, program, program_name
+            )
+            if seq is None:
+                seq = tenant.next_seq
+            elif seq < tenant.next_seq:
+                recorded = tenant.digests.get(seq)
+                if recorded is not None and recorded != digest:
+                    raise SequenceError(
+                        tenant_id,
+                        expected=tenant.next_seq,
+                        got=seq,
+                        reason="duplicate payload differs from the "
+                        "batch originally applied under that seq",
+                    )
+                shard.stats["dropped"] += 1
+                return IngestResult(
+                    tenant_id=tenant_id,
+                    seq=seq,
+                    events=n,
+                    selections=(),
+                    duplicate=True,
+                )
+            elif seq > tenant.next_seq:
+                raise SequenceError(
+                    tenant_id,
+                    expected=tenant.next_seq,
+                    got=seq,
+                    reason="gap",
+                )
+            replayed = seq <= tenant.durable_seq
+            if replayed:
+                recorded = tenant.digests.get(seq)
+                if recorded is not None and recorded != digest:
+                    raise SequenceError(
+                        tenant_id,
+                        expected=tenant.next_seq,
+                        got=seq,
+                        reason="re-sent batch differs from the batch "
+                        "whose digest the log recorded",
+                    )
             if tenant.queued_events + n > config.max_queued_events:
                 shard.stats["rejects"] += 1
                 raise BackpressureError(
@@ -288,7 +538,6 @@ class PredictionServer:
                     retry_after_seconds=config.retry_after_seconds,
                 )
             tenant.queued_events += n
-            seq = tenant.next_seq
             tenant.next_seq += 1
             if self._admit_hook is not None:
                 self._admit_hook(tenant_id, seq)
@@ -305,6 +554,36 @@ class PredictionServer:
                 selections = session.ingest(batch)
                 elapsed = time.perf_counter() - started
                 delta_bytes = session.state_bytes - before_bytes
+                if durable:
+                    store_shard = self._store.shards[shard.index]
+                    if tenant.digests.get(seq) != digest:
+                        store_shard.append(
+                            {
+                                "k": "batch",
+                                "t": tenant_id,
+                                "s": seq,
+                                "d": digest,
+                            }
+                        )
+                    tenant.digests[seq] = digest
+                    if seq > tenant.durable_seq:
+                        tenant.durable_seq = seq
+                    tenant.batches_since_snapshot += 1
+                    if (
+                        tenant.batches_since_snapshot
+                        >= config.checkpoint_interval_batches
+                    ):
+                        self._checkpoint_tenant(
+                            store_shard, shard, tenant, session, seq
+                        )
+                    if replayed:
+                        shard.stats["replayed"] += 1
+                elif digest is not None:
+                    # Bounded in-memory digest window so explicit-seq
+                    # retries stay verifiable without durability.
+                    tenant.digests[seq] = digest
+                    while len(tenant.digests) > _DIGEST_RETENTION:
+                        tenant.digests.pop(next(iter(tenant.digests)))
         except Exception:
             with shard.cond:
                 tenant.poisoned = True
@@ -319,9 +598,23 @@ class PredictionServer:
             stats["ingested_batches"] += 1
             stats["selections"] += len(selections)
             stats["apply_seconds"] += elapsed
-            shard.state_bytes += delta_bytes
+            shard.state_bytes += delta_bytes + tenant.unaccounted_bytes
+            tenant.unaccounted_bytes = 0
             self._touch(shard, tenant)
             self._evict_over_budget(shard, keep=tenant)
+            if (
+                durable
+                and self._store.shards[shard.index].record_count
+                > config.wal_rotate_records
+            ):
+                # cond (tenant map stable) + state lock (digest maps
+                # stable) make the live-record scan consistent.
+                with shard.state_lock:
+                    self._store.shards[shard.index].rotate(
+                        self._store.live_records(
+                            shard.index, shard.tenants
+                        )
+                    )
             self._finish_turn(shard, tenant, n)
         return IngestResult(
             tenant_id=tenant_id,
@@ -329,6 +622,39 @@ class PredictionServer:
             events=n,
             selections=tuple(selections),
         )
+
+    def _checkpoint_tenant(
+        self,
+        store_shard,
+        shard: _Shard,
+        tenant: _Tenant,
+        session: TenantSession,
+        seq: int,
+    ) -> dict:
+        """Snapshot ``tenant`` as of applied batch ``seq``.
+
+        Caller holds the shard state lock (or the tenant is provably
+        idle); the session must be at a batch boundary.  Returns the
+        session-state dict that was persisted.
+        """
+        state = session.snapshot()
+        payload = {
+            "tenant_id": tenant.tenant_id,
+            "program_name": tenant.program_name,
+            "seq": seq,
+            "session": state,
+        }
+        store_shard.write_snapshot(tenant.tenant_id, payload)
+        tenant.last_snapshot_seq = seq
+        tenant.batches_since_snapshot = 0
+        # The WAL drops records the snapshot covers at rotation; in
+        # memory a retention window outlives them so late duplicates
+        # can still be verified against what was actually applied.
+        horizon = seq - _DIGEST_RETENTION
+        for stale in [s for s in tenant.digests if s <= horizon]:
+            del tenant.digests[stale]
+        shard.stats["checkpoints"] += 1
+        return state
 
     def _finish_turn(self, shard: _Shard, tenant: _Tenant, n: int) -> None:
         tenant.queued_events -= n
@@ -347,16 +673,29 @@ class PredictionServer:
         """
         session = tenant.session
         if session is None:
-            session = TenantSession(
-                tenant_id=tenant.tenant_id,
-                program=tenant.program,
-                delay=self.config.delay,
-                max_blocks=self.config.max_blocks,
-                count_backward_arrivals_only=(
-                    self.config.count_backward_arrivals_only
-                ),
-                start_uid=tenant.resume_uid,
-            )
+            if tenant.parked_snapshot is not None:
+                # Lossless path: a checkpoint (from eviction, drain or
+                # recovery) rebuilds the session exactly where the
+                # stream stood.  The restored bytes are invisible to
+                # the shard's delta accounting until the next ingest
+                # settles, hence ``unaccounted_bytes``.
+                session = TenantSession.restore(
+                    tenant.program, tenant.parked_snapshot
+                )
+                tenant.parked_snapshot = None
+                tenant.unaccounted_bytes += session.state_bytes
+                shard.stats["restores"] += 1
+            else:
+                session = TenantSession(
+                    tenant_id=tenant.tenant_id,
+                    program=tenant.program,
+                    delay=self.config.delay,
+                    max_blocks=self.config.max_blocks,
+                    count_backward_arrivals_only=(
+                        self.config.count_backward_arrivals_only
+                    ),
+                    start_uid=tenant.resume_uid,
+                )
             tenant.session = session
             if tenant.had_session:
                 shard.stats["readmissions"] += 1
@@ -387,10 +726,25 @@ class PredictionServer:
             if victim is None:
                 return  # nothing evictable; budget is soft under load
             freed = victim.session.state_bytes
-            # Remember where the stream stood so the fresh session a
-            # readmission builds resumes mid-flight instead of tripping
-            # the continuity check at the program entry.
-            victim.resume_uid = victim.session.stream_position
+            if self._store is not None:
+                # Durable eviction is lossless: checkpoint the victim
+                # and park the snapshot so readmission restores instead
+                # of re-warming.  The victim is idle (no queued or
+                # in-flight work), so its session is at a quiescent
+                # batch boundary.
+                with shard.state_lock:
+                    victim.parked_snapshot = self._checkpoint_tenant(
+                        self._store.shards[shard.index],
+                        shard,
+                        victim,
+                        victim.session,
+                        victim.next_seq - 1,
+                    )
+            else:
+                # Remember where the stream stood so the fresh session
+                # a readmission builds resumes mid-flight instead of
+                # tripping the continuity check at the program entry.
+                victim.resume_uid = victim.session.stream_position
             victim.session = None
             victim.evictions += 1
             shard.state_bytes -= freed
@@ -409,6 +763,8 @@ class PredictionServer:
         """
         shard = self._shard(tenant_id)
         with shard.cond:
+            if self._draining:
+                raise DrainingError(self.config.retry_after_seconds)
             tenant = shard.tenants.get(tenant_id)
             if tenant is None:
                 raise ServingError(f"unknown tenant {tenant_id!r}")
@@ -427,10 +783,22 @@ class PredictionServer:
             # past that, so remember what to release *before* closing.
             tracked_bytes = session.state_bytes
             selections = session.close()
+            if self._store is not None:
+                # The close record retires the tenant from recovery;
+                # fsync before dropping the snapshot so a crash between
+                # the two heals toward "closed", never "rewound".
+                store_shard = self._store.shards[shard.index]
+                store_shard.append(
+                    {"k": "close", "t": tenant_id}, sync=True
+                )
+                store_shard.delete_snapshot(tenant_id)
 
         with shard.cond:
             del shard.tenants[tenant_id]
-            shard.state_bytes -= tracked_bytes
+            # A session restored from a checkpoint carries bytes the
+            # shard's delta accounting never saw; release only what it
+            # tracked.
+            shard.state_bytes -= tracked_bytes - tenant.unaccounted_bytes
             shard.stats["tenants_closed"] += 1
             shard.stats["selections"] += len(selections)
             tenant.turn += 1
@@ -447,6 +815,84 @@ class PredictionServer:
             state_bytes=session.state_bytes,
             evictions=tenant.evictions,
         )
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop admissions, finish in-flight work, checkpoint everyone.
+
+        After ``drain`` returns, every admitted batch has been applied,
+        every tenant holding live state has a fresh durable snapshot
+        (when durability is enabled) and the WALs are fsynced — a
+        successor process can :meth:`restore` from the state dir and
+        tenants continue mid-stream with no batch re-sent.  New
+        admissions (ingest, open, close) raise
+        :class:`~repro.errors.DrainingError` carrying a retry-after
+        hint the moment the drain begins.  Raises
+        :class:`~repro.errors.ServingError` if in-flight work does not
+        settle within ``timeout`` seconds (the drain stays in effect).
+        """
+        self._draining = True
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for shard in self._shards:
+            with shard.cond:
+                while any(
+                    tenant.turn != tenant.next_seq
+                    for tenant in shard.tenants.values()
+                ):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise ServingError(
+                                "drain timed out with batches still "
+                                "in flight"
+                            )
+                    shard.cond.wait(remaining)
+                if self._store is None:
+                    continue
+                store_shard = self._store.shards[shard.index]
+                with shard.state_lock:
+                    for tenant in shard.tenants.values():
+                        # Parked or never-started state is already
+                        # durable; only live sessions need a snapshot.
+                        if tenant.session is None or tenant.closed:
+                            continue
+                        self._checkpoint_tenant(
+                            store_shard,
+                            shard,
+                            tenant,
+                            tenant.session,
+                            tenant.next_seq - 1,
+                        )
+                store_shard.sync()
+
+    def close(self) -> None:
+        """Release the durability store's file handles (idempotent).
+
+        Simulated crashes in tests abandon a server instance and
+        restore a successor over the same state dir; closing first
+        keeps the handle count bounded.  Does **not** drain or
+        checkpoint — state on disk stays exactly as it was.
+        """
+        if self._store is not None:
+            self._store.close()
+
+    def expected_seq(self, tenant_id: str) -> int:
+        """The next sequence number the server will accept for a tenant.
+
+        The recovery handshake: after a reconnect (or a server
+        restart), a client asks where the stream stands and re-sends
+        from there.  Unknown tenants report ``0`` — nothing of theirs
+        survives, so the stream starts over.
+        """
+        shard = self._shard(tenant_id)
+        with shard.cond:
+            tenant = shard.tenants.get(tenant_id)
+            return tenant.next_seq if tenant is not None else 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -487,6 +933,8 @@ class PredictionServer:
                     totals[key] = totals.get(key, 0) + value
         totals["resident_tenants"] = self.resident_tenants()
         totals["state_bytes"] = self.state_bytes()
+        if self._store is not None:
+            totals.update(self._store.stats())
         return totals
 
     def publish(self, obs: Registry | None) -> None:
@@ -507,6 +955,10 @@ class PredictionServer:
             "readmissions",
             "tenants_opened",
             "tenants_closed",
+            "checkpoints",
+            "restores",
+            "replayed",
+            "dropped",
         ):
             reg.counter(name).inc(int(stats[name]))
         reg.gauge("resident_tenants").set(stats["resident_tenants"])

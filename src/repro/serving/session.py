@@ -29,11 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cfg.program import Program
-from repro.errors import ServingError
+from repro.errors import CheckpointError, ServingError
 from repro.prediction.base import PredictionOutcome
 from repro.prediction.streaming import NETSession
 from repro.trace.batch import EventBatch
 from repro.trace.extractor import PathExtractor
+from repro.trace.path import Path, PathSignature
 
 #: Estimated bytes per allocated head counter (dict slot + two ints).
 COUNTER_BYTES = 96
@@ -185,6 +186,130 @@ class TenantSession:
             if net.counter_space != before:
                 self.state_bytes += COUNTER_BYTES
         return selections
+
+    # ------------------------------------------------------------------
+    # Durable state (serving checkpoints)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The session's complete state as plain JSON-able data.
+
+        Captures the three mutable layers — the interned path table (in
+        discovery order, so restored ids keep their meaning), the
+        extraction stream's cursor (including the open segment's carried
+        events), and the NET predictor state — plus the session's own
+        bookkeeping.  :meth:`restore` rebuilds a session that continues
+        the stream byte-identically: same selections, same times, same
+        counter space, same metered bytes.  Only valid at a batch
+        boundary (between :meth:`ingest` calls), which is when the
+        server's turnstile guarantees the state is quiescent.
+        """
+        if self.closed:
+            raise ServingError(
+                f"tenant {self.tenant_id!r} session is closed"
+            )
+        table = self._extractor.table
+        paths = []
+        for path_id in range(len(table)):
+            path = table.path(path_id)
+            sig = path.signature
+            paths.append(
+                [
+                    list(path.blocks),
+                    sig.start_address,
+                    sig.history,
+                    sig.bit_count,
+                    list(sig.indirect_targets),
+                    path.num_instructions,
+                    path.num_cond_branches,
+                    path.num_indirect_branches,
+                    bool(path.ends_with_backward_branch),
+                ]
+            )
+        return {
+            "tenant_id": self.tenant_id,
+            "delay": self._net.delay,
+            "max_blocks": self._extractor._max_blocks,
+            "count_backward_arrivals_only": (
+                self._net.count_backward_arrivals_only
+            ),
+            "paths": paths,
+            "stream": self._stream.checkpoint(),
+            "net": self._net.state_dict(),
+            "events_ingested": self.events_ingested,
+            "batches_ingested": self.batches_ingested,
+            "state_bytes": self.state_bytes,
+        }
+
+    @classmethod
+    def restore(cls, program: Program, state: dict) -> "TenantSession":
+        """Rebuild a session from a :meth:`snapshot` payload.
+
+        ``program`` must be the program the snapshotted session was
+        serving (tenant programs are registered by name and do not
+        travel through checkpoints).
+        """
+        try:
+            session = cls(
+                tenant_id=state["tenant_id"],
+                program=program,
+                delay=int(state["delay"]),
+                max_blocks=state["max_blocks"],
+                count_backward_arrivals_only=bool(
+                    state["count_backward_arrivals_only"]
+                ),
+            )
+            table = session._extractor.table
+            for record in state["paths"]:
+                (
+                    blocks,
+                    start_address,
+                    history,
+                    bit_count,
+                    indirect,
+                    num_instructions,
+                    num_cond,
+                    num_indirect,
+                    ends_backward,
+                ) = record
+                path = Path(
+                    signature=PathSignature(
+                        start_address=int(start_address),
+                        history=int(history),
+                        bit_count=int(bit_count),
+                        indirect_targets=tuple(
+                            int(t) for t in indirect
+                        ),
+                    ),
+                    blocks=tuple(int(b) for b in blocks),
+                    start_uid=int(blocks[0]),
+                    num_instructions=int(num_instructions),
+                    num_cond_branches=int(num_cond),
+                    num_indirect_branches=int(num_indirect),
+                    ends_with_backward_branch=bool(ends_backward),
+                )
+                table.intern(path)
+            # Re-register the per-path static attribute columns the hot
+            # loop reads, exactly as _observe would have grown them.
+            for path_id in range(len(table)):
+                path = table.path(path_id)
+                session._start_uids.append(path.start_uid)
+                session._ends_backward.append(
+                    path.ends_with_backward_branch
+                )
+                session._num_blocks.append(path.num_blocks)
+            session._known_paths = len(table)
+            session._stream = session._extractor.resume_stream(
+                state["stream"]
+            )
+            session._net.load_state(state["net"])
+            session.events_ingested = int(state["events_ingested"])
+            session.batches_ingested = int(state["batches_ingested"])
+            session.state_bytes = int(state["state_bytes"])
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"invalid session snapshot: {error!r}"
+            ) from error
+        return session
 
     # ------------------------------------------------------------------
     @property

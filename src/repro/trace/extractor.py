@@ -263,6 +263,31 @@ class PathExtractor:
         )
         return PathStream(self, _BatchCursor(uid=uid, expect_src=uid))
 
+    def resume_stream(self, state: dict) -> "PathStream":
+        """Rebuild a :class:`PathStream` from a :meth:`PathStream.checkpoint`.
+
+        The extractor must share the path table the checkpointed stream
+        was interning into (restored tables re-intern paths in their
+        original order, so ids keep meaning the same paths).
+        """
+        carry_dst = state["carry_dst"]
+        cursor = _BatchCursor(
+            uid=int(state["uid"]),
+            expect_src=int(state["expect_src"]),
+            halted=bool(state["halted"]),
+        )
+        if carry_dst:
+            cursor.carry_dst = np.asarray(carry_dst, dtype=np.int64)
+            cursor.carry_kind = np.asarray(
+                state["carry_kind"], dtype=np.uint8
+            )
+            cursor.carry_backward = np.asarray(
+                state["carry_backward"], dtype=np.uint8
+            ).astype(bool)
+        stream = PathStream(self, cursor)
+        stream._finished = bool(state.get("finished", False))
+        return stream
+
     def _consume_batch(self, batch: EventBatch, cursor: _BatchCursor) -> None:
         if len(batch) == 0:
             return
@@ -496,6 +521,41 @@ class PathStream:
         ids = self._cursor.ids
         self._cursor.ids = []
         return ids
+
+    # ------------------------------------------------------------------
+    # Durable state (serving checkpoints)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """The stream's cursor as plain JSON-able data.
+
+        Captures everything :meth:`feed` carries between batches: the
+        open segment's start uid, the continuity expectation, the halt
+        flag and the buffered (carried) open-segment columns.  Only
+        valid at a batch boundary — i.e. with no undrained completed
+        segments, which is always true between :meth:`feed` calls.
+        :meth:`PathExtractor.resume_stream` is the inverse; a resumed
+        stream continues the event stream byte-identically (same cuts,
+        same interned paths, same ids).
+        """
+        cursor = self._cursor
+        if cursor.ids:
+            raise TraceError(
+                "cannot checkpoint a path stream with undrained segments"
+            )
+        carry = cursor.carry_dst is not None and len(cursor.carry_dst) > 0
+        return {
+            "uid": int(cursor.uid),
+            "expect_src": int(cursor.expect_src),
+            "halted": bool(cursor.halted),
+            "finished": self._finished,
+            "carry_dst": cursor.carry_dst.tolist() if carry else [],
+            "carry_kind": cursor.carry_kind.tolist() if carry else [],
+            "carry_backward": (
+                cursor.carry_backward.astype(np.uint8).tolist()
+                if carry
+                else []
+            ),
+        }
 
 
 def extract_paths(

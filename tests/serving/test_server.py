@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.errors import ServingError, TraceError, WireFormatError
+from repro.errors import (
+    DrainingError,
+    ServingError,
+    TraceError,
+    WireFormatError,
+)
 from repro.serving import PredictionServer, ServerConfig
 from repro.serving.loadgen import build_stream, standalone_outcome
 from repro.trace.batch import EventBatch
@@ -199,3 +204,34 @@ def test_unlimited_budget_never_evicts():
 def test_config_validation(kwargs):
     with pytest.raises(ServingError):
         ServerConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Drain (works the same without a state dir — just nothing to persist)
+# ----------------------------------------------------------------------
+def test_drain_stops_admissions_with_typed_rejection():
+    stream = _stream()
+    server = PredictionServer(
+        ServerConfig(num_shards=2, delay=DELAY, retry_after_seconds=0.25)
+    )
+    server.open_tenant("t0", stream.program)
+    server.ingest("t0", stream.batches[0])
+    server.drain(timeout=5.0)
+    assert server.draining
+    with pytest.raises(DrainingError) as excinfo:
+        server.ingest("t0", stream.batches[1])
+    assert excinfo.value.retry_after_seconds == 0.25
+    with pytest.raises(DrainingError):
+        server.open_tenant("late", stream.program)
+    # Closes are rejected too: a drained server hands its sessions to
+    # the successor (via the state dir when durable) rather than
+    # flushing reports mid-shutdown.
+    with pytest.raises(DrainingError):
+        server.close_tenant("t0")
+
+
+def test_drain_is_idempotent():
+    server = PredictionServer(ServerConfig(num_shards=1, delay=DELAY))
+    server.drain(timeout=5.0)
+    server.drain(timeout=5.0)
+    assert server.draining

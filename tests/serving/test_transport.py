@@ -6,7 +6,16 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import BackpressureError, ServingError, WireFormatError
+from repro.errors import (
+    BackpressureError,
+    ConnectionLostError,
+    DrainingError,
+    FrameTooLargeError,
+    SequenceError,
+    ServingError,
+    WireFormatError,
+)
+from repro.resilience import RetryPolicy
 from repro.serving import (
     PredictionServer,
     ServerConfig,
@@ -214,3 +223,148 @@ def test_parallel_tcp_clients_stay_isolated(tcp, stream):
     expected = list(np.asarray(offline.predicted_ids))
     for tid, predicted in results.items():
         assert predicted == expected, tid
+
+
+# ----------------------------------------------------------------------
+# Exactly-once sequencing, drain, frame cap, reconnection
+# ----------------------------------------------------------------------
+def test_explicit_seq_duplicate_and_gap_over_wire(tcp, stream):
+    with _client(tcp) as client:
+        client.open("seq", stream.name)
+        first = client.ingest("seq", stream.payloads[0], seq=0)
+        assert first["duplicate"] is False
+        again = client.ingest("seq", stream.payloads[0], seq=0)
+        assert again["duplicate"] is True
+        assert again["selections"] == []
+        with pytest.raises(SequenceError) as excinfo:
+            client.ingest("seq", stream.payloads[1], seq=5)
+        assert excinfo.value.expected == 1
+        assert excinfo.value.got == 5
+        # The connection survives the typed rejection.
+        assert client.ingest("seq", stream.payloads[1], seq=1)["seq"] == 1
+        client.close_tenant("seq")
+
+
+def test_expected_seq_op(tcp, stream):
+    with _client(tcp) as client:
+        assert client.expected_seq("fresh") == 0
+        client.open("fresh", stream.name)
+        client.ingest("fresh", stream.payloads[0], seq=0)
+        client.ingest("fresh", stream.payloads[1], seq=1)
+        assert client.expected_seq("fresh") == 2
+        client.close_tenant("fresh")
+
+
+def test_draining_travels_as_a_typed_reply(stream):
+    prediction = PredictionServer(ServerConfig(num_shards=1, delay=DELAY))
+    server = ServingTCPServer(
+        ("127.0.0.1", 0), prediction, {stream.name: stream.program}
+    )
+    start_background(server)
+    try:
+        prediction.drain(timeout=5.0)
+        with _client(server) as client:
+            with pytest.raises(DrainingError) as excinfo:
+                client.open("late", stream.name)
+            assert excinfo.value.retry_after_seconds > 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_oversized_frame_is_a_typed_reply(stream):
+    prediction = PredictionServer(ServerConfig(num_shards=1, delay=DELAY))
+    server = ServingTCPServer(
+        ("127.0.0.1", 0),
+        prediction,
+        {stream.name: stream.program},
+        max_frame_bytes=256,
+    )
+    start_background(server)
+    try:
+        with _client(server) as client:
+            client.open("big", stream.name)
+            with pytest.raises(FrameTooLargeError) as excinfo:
+                client.ingest("big", stream.payloads[0])
+            assert excinfo.value.limit == 256
+            assert excinfo.value.declared > 256
+        # The cap poisons nothing: small frames on a new connection work.
+        with _client(server) as client:
+            assert client.expected_seq("big") == 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_lost_reply_retried_and_deduplicated(tcp, stream):
+    client = ServingClient(
+        "127.0.0.1",
+        tcp.port,
+        timeout=30.0,
+        retry_policy=RetryPolicy(
+            max_retries=3, backoff_base=0.002, backoff_cap=0.02
+        ),
+    )
+    with client:
+        client.open("lossy", stream.name)
+        client.ingest("lossy", stream.payloads[0], seq=0)
+        # The server eats the next reply: the batch is applied but the
+        # ack is lost, so the client reconnects and re-sends — and the
+        # re-send must be acked as a duplicate, not applied twice.
+        tcp.chaos_drop_next_reply = True
+        reply = client.ingest("lossy", stream.payloads[1], seq=1)
+        assert reply["duplicate"] is True
+        assert client.expected_seq("lossy") == 2
+        client.close_tenant("lossy")
+
+
+def test_auto_seq_ingest_fails_fast_on_lost_connection(stream):
+    prediction = PredictionServer(ServerConfig(num_shards=1, delay=DELAY))
+    server = ServingTCPServer(
+        ("127.0.0.1", 0), prediction, {stream.name: stream.program}
+    )
+    start_background(server)
+    client = ServingClient(
+        "127.0.0.1",
+        server.port,
+        timeout=5.0,
+        retry_policy=RetryPolicy(
+            max_retries=3, backoff_base=0.002, backoff_cap=0.02
+        ),
+    )
+    client.open("t", stream.name)
+    server.shutdown()
+    server.server_close()
+    prediction.close()
+    client._teardown()  # the established connection dies with the box
+    # Auto-assigned sequence numbers are not idempotent: a lost ack
+    # could mean the batch was applied, so the client must not re-send.
+    with pytest.raises(ConnectionLostError, match="not retryable") as excinfo:
+        client.ingest("t", stream.payloads[0])
+    assert excinfo.value.attempts == 1
+    client.close()
+
+
+def test_idempotent_ops_exhaust_the_retry_budget(stream):
+    prediction = PredictionServer(ServerConfig(num_shards=1, delay=DELAY))
+    server = ServingTCPServer(
+        ("127.0.0.1", 0), prediction, {stream.name: stream.program}
+    )
+    start_background(server)
+    client = ServingClient(
+        "127.0.0.1",
+        server.port,
+        timeout=5.0,
+        retry_policy=RetryPolicy(
+            max_retries=2, backoff_base=0.002, backoff_cap=0.02
+        ),
+    )
+    client.open("t", stream.name)
+    server.shutdown()
+    server.server_close()
+    prediction.close()
+    client._teardown()
+    with pytest.raises(ConnectionLostError) as excinfo:
+        client.ingest("t", stream.payloads[0], seq=0)
+    assert excinfo.value.attempts == 3  # initial try + max_retries
+    client.close()
