@@ -16,6 +16,10 @@ Commands
     Prediction-delay sweep of both schemes on one benchmark.
 ``dynamo BENCH``
     Dynamo simulation cells for one benchmark.
+``minidynamo [PROGRAM…]``
+    Execute real ISA programs through the miniature Dynamo VM at a
+    chosen execution tier (``interp`` / ``fragments`` / ``compiled``)
+    and report wall-clock MIPS and fragment-cache behaviour.
 ``save-trace BENCH FILE`` / ``trace-info FILE``
     Persist a benchmark trace / summarize a saved trace file.
 ``serve``
@@ -46,8 +50,9 @@ import dataclasses
 import pathlib
 import sys
 import tempfile
+import time
 
-from repro.dynamo import DynamoSystem
+from repro.dynamo import DEFAULT_CONFIG, TIERS, DynamoSystem
 from repro.errors import ReproError, SweepInterrupted
 from repro.experiments import (
     EXPERIMENT_IDS,
@@ -76,6 +81,7 @@ from repro.serving import (
     schedule_steps,
     serve_until_drained,
 )
+from repro.isa.programs import ALL_PROGRAMS, demo_memory
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import summarize
 from repro.workloads import BENCHMARK_ORDER, load_benchmark
@@ -312,6 +318,69 @@ def _cmd_dynamo(args: argparse.Namespace) -> int:
         for scheme in ("net", "path-profile"):
             for delay in args.delays or (10, 50, 100):
                 print(system.run(trace, scheme, delay).render())
+    _finish_metrics(args, registry, recorder)
+    return 0
+
+
+def _cmd_minidynamo(args: argparse.Namespace) -> int:
+    registry = _metrics_registry(args)
+    recorder = _run_recorder(args)
+    obs = get_registry(registry)
+    config = dataclasses.replace(DEFAULT_CONFIG, tier=args.tier)
+    system = DynamoSystem(config=config, obs=registry)
+    names = args.programs or sorted(ALL_PROGRAMS)
+    rows = []
+    for name in names:
+        program = ALL_PROGRAMS[name].build()
+        memory = demo_memory(name, scale=args.scale)
+        with obs.phase(f"minidynamo:{name}"):
+            start = time.perf_counter()
+            result = system.run_vm(
+                program,
+                memory,
+                scheme=args.scheme,
+                delay=args.delay,
+                max_steps=args.max_steps,
+            )
+            elapsed = time.perf_counter() - start
+        stats = result.stats
+        total = (
+            stats.interpreted_instructions + stats.fragment_instructions
+        )
+        mips = total / elapsed / 1e6 if elapsed > 0 else 0.0
+        rows.append(
+            [
+                name,
+                f"{total:,}",
+                f"{mips:.2f}",
+                f"{100.0 * stats.cached_fraction:.1f}",
+                stats.fragments_built,
+                stats.fragments_compiled,
+                stats.linked_transfers,
+                stats.guard_exits,
+                f"{elapsed:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            headers=[
+                "program",
+                "instructions",
+                "mips",
+                "cached%",
+                "fragments",
+                "compiled",
+                "linked",
+                "guard exits",
+                "seconds",
+            ],
+            rows=rows,
+            title=(
+                f"mini-Dynamo · tier={args.tier} scheme={args.scheme} "
+                f"τ={args.delay} scale={args.scale:g}"
+            ),
+        )
+    )
     _finish_metrics(args, registry, recorder)
     return 0
 
@@ -644,6 +713,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_flow_scale(dynamo)
     add_metrics_flags(dynamo)
     dynamo.set_defaults(handler=_cmd_dynamo)
+
+    minidynamo = sub.add_parser(
+        "minidynamo",
+        help="run real ISA programs through the miniature Dynamo VM",
+    )
+    minidynamo.add_argument(
+        "programs",
+        nargs="*",
+        choices=sorted(ALL_PROGRAMS),
+        help="programs to run (default: all)",
+    )
+    minidynamo.add_argument(
+        "--tier",
+        choices=TIERS,
+        default="compiled",
+        help="execution tier (default: compiled)",
+    )
+    minidynamo.add_argument(
+        "--scheme", choices=("net", "path-profile"), default="net"
+    )
+    minidynamo.add_argument(
+        "--delay", type=int, default=20, help="prediction delay τ"
+    )
+    minidynamo.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="input-size multiplier (default 1.0 = benchmark scale)",
+    )
+    minidynamo.add_argument("--max-steps", type=int, default=200_000_000)
+    add_metrics_flags(minidynamo)
+    minidynamo.set_defaults(handler=_cmd_minidynamo)
 
     save = sub.add_parser("save-trace", help="persist a benchmark trace")
     save.add_argument("benchmark", choices=BENCHMARK_ORDER)

@@ -6,7 +6,13 @@ execution that Figure 5 plots.  The fragment cache, flush heuristic and
 bail-out policy model the behaviours §6/§6.1 describe.
 """
 
-from repro.dynamo.config import DEFAULT_CONFIG, DynamoConfig
+from repro.dynamo.compiler import (
+    CompiledCache,
+    CompiledFragment,
+    compile_fragment,
+    state_digest,
+)
+from repro.dynamo.config import DEFAULT_CONFIG, TIERS, DynamoConfig
 from repro.dynamo.costmodel import native_cycles, simulate_costs
 from repro.dynamo.flush import PredictionRateMonitor
 from repro.dynamo.fragment import Fragment, FragmentCache
@@ -28,6 +34,11 @@ from repro.dynamo.vm import (
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "TIERS",
+    "CompiledCache",
+    "CompiledFragment",
+    "compile_fragment",
+    "state_digest",
     "CycleBreakdown",
     "DynamoConfig",
     "DynamoRun",

@@ -14,6 +14,13 @@ from dataclasses import dataclass
 
 from repro.errors import DynamoError
 
+#: Execution tiers of the miniature Dynamo VM, slowest to fastest:
+#: ``interp`` runs the plain interpreter with no profiling at all,
+#: ``fragments`` interprets recorded fragments one VMStep at a time,
+#: ``compiled`` runs fragments as closure-specialized superblocks with
+#: direct fragment→fragment linking (see :mod:`repro.dynamo.compiler`).
+TIERS = ("interp", "fragments", "compiled")
+
 
 @dataclass(frozen=True)
 class DynamoConfig:
@@ -74,6 +81,10 @@ class DynamoConfig:
         amortization.  Set to 1.0 to report the raw short-run figures.
     steady_state_fraction:
         Fraction of the trace's tail used to estimate the warm rate.
+    tier:
+        Execution tier for real (VM) runs: one of :data:`TIERS`.  The
+        cost model is tier-independent; the knob selects how
+        :class:`repro.dynamo.vm.DynamoVM` actually executes fragments.
     """
 
     interp_per_instr: float = 12.0
@@ -93,8 +104,14 @@ class DynamoConfig:
     bail_out_overhead: float = 0.02
     amortization: float = 40.0
     steady_state_fraction: float = 0.25
+    tier: str = "fragments"
 
     def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise DynamoError(
+                f"unknown execution tier {self.tier!r}; expected one of "
+                f"{', '.join(TIERS)}"
+            )
         if self.interp_per_instr <= self.native_per_instr:
             raise DynamoError(
                 "interpretation must cost more than native execution"

@@ -20,9 +20,27 @@ executes real programs the way the paper's system does:
 5. plant **exit counters** on guard exits — Dynamo's secondary trace
    heads — so the working set's other hot tails materialize too.
 
+Fragment execution comes in three tiers (:data:`repro.dynamo.config.TIERS`):
+
+``interp``
+    The honest baseline: plain interpretation, no profiling, no
+    fragments.  What running the program costs without Dynamo.
+``fragments``
+    The default: recorded fragments are re-interpreted one
+    :class:`VMStep` at a time by :meth:`DynamoVM._run_fragment`.
+``compiled``
+    Each fragment is additionally compiled — once — into a specialized
+    Python closure (:mod:`repro.dynamo.compiler`): operands pre-decoded,
+    straight-line arithmetic inlined, guards straightened into
+    early-return exit stubs, superblock back-edges looping inside the
+    closure, and completion/guard exits linked directly to the successor
+    fragment's closure so hot code never re-enters the dispatcher.
+
 Correctness is testable, not assumed: for every bundled program the VM's
 output must equal the plain interpreter's, whatever mix of interpreted
-and fragment execution produced it.  The VM also keeps the same cycle
+and fragment execution produced it — and the compiled tier must be
+digest-identical (:meth:`DynamoVM.state_digest`) *and* counter-identical
+to the interpreted fragment tier.  The VM also keeps the same cycle
 accounting as the cost model, so measured speedups of real executions
 can be compared with the simulator's.
 """
@@ -31,10 +49,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dynamo.config import DEFAULT_CONFIG, DynamoConfig
+from repro.dynamo.compiler import (
+    EXIT_LOOKUP,
+    CompiledCache,
+    CompiledFragment,
+    compile_fragment,
+    state_digest,
+)
+from repro.dynamo.config import DEFAULT_CONFIG, TIERS, DynamoConfig
 from repro.errors import DynamoError, MachineLimitExceeded
 from repro.isa.assembler import AssembledProgram
-from repro.isa.instructions import COND_BRANCHES, Instruction, Op
+from repro.isa.instructions import (
+    BLOCK_TERMINATORS,
+    COND_BRANCHES,
+    Instruction,
+    Op,
+)
 from repro.isa.machine import DEFAULT_MEMORY_WORDS, Machine
 from repro.obs.core import Registry, get_registry
 
@@ -66,6 +96,10 @@ class VMFragment:
     final_target: int
     created_at_step: int
     executions: int = 0
+    #: Executions that passed every guard and reached ``final_target``.
+    #: An execution that halts mid-body counts in ``executions`` but
+    #: never here.
+    completions: int = 0
     guard_exits: int = 0
 
     @property
@@ -88,9 +122,16 @@ class VMStats:
     recorded_instructions: int = 0
     fragments_built: int = 0
     fragment_entries: int = 0
+    #: Fragment executions that passed every guard (tier-independent).
+    fragment_completions: int = 0
     linked_transfers: int = 0
     guard_exits: int = 0
     flushes: int = 0
+    #: Compiled tier only: closures built over the run (survives flushes).
+    fragments_compiled: int = 0
+    #: Compiled tier only: superblock link cells patched / unpatched.
+    link_patches: int = 0
+    link_unpatches: int = 0
 
     def cycles(self, config: DynamoConfig) -> float:
         """Dynamo cycles under the shared cost model."""
@@ -139,9 +180,13 @@ class VMStats:
         reg.counter("recorded_instructions").inc(self.recorded_instructions)
         reg.counter("fragments_built").inc(self.fragments_built)
         reg.counter("fragment_entries").inc(self.fragment_entries)
+        reg.counter("fragment_completions").inc(self.fragment_completions)
         reg.counter("linked_transfers").inc(self.linked_transfers)
         reg.counter("guard_exits").inc(self.guard_exits)
         reg.counter("flushes").inc(self.flushes)
+        reg.counter("fragments_compiled").inc(self.fragments_compiled)
+        reg.counter("link_patches").inc(self.link_patches)
+        reg.counter("link_unpatches").inc(self.link_unpatches)
 
 
 @dataclass
@@ -151,6 +196,8 @@ class VMResult:
     output: list[int]
     stats: VMStats
     fragments: dict[int, VMFragment] = field(default_factory=dict)
+    #: Compiled tier: resident closures by head pc at run end.
+    compiled: dict[int, CompiledFragment] = field(default_factory=dict)
     #: Periodic (interpreted, fragment, shift-op, table-op) checkpoints.
     checkpoints: list[tuple[int, int, int, int]] = field(
         default_factory=list
@@ -217,6 +264,11 @@ class DynamoVM:
     cache_budget_instructions:
         Fragment-cache capacity; overflow flushes everything (Dynamo's
         policy) and restarts the counters.
+    tier:
+        Execution tier, one of :data:`repro.dynamo.config.TIERS`:
+        ``interp`` (plain interpreter, no profiling), ``fragments``
+        (step-interpreted fragments — the default) or ``compiled``
+        (closure-specialized superblocks with linking).
     obs:
         Optional metrics registry; the VM's accounting is published
         under ``vm.*`` relative to it when a run finishes.  Without it
@@ -231,6 +283,7 @@ class DynamoVM:
         max_trace_instructions: int = DEFAULT_MAX_TRACE_INSTRUCTIONS,
         cache_budget_instructions: int = 60_000,
         memory_words: int = DEFAULT_MEMORY_WORDS,
+        tier: str = "fragments",
         obs: Registry | None = None,
     ):
         if delay < 0:
@@ -239,9 +292,15 @@ class DynamoVM:
             raise DynamoError(f"unknown VM scheme {scheme!r}")
         if max_trace_instructions < 2:
             raise DynamoError("traces need at least two instructions")
+        if tier not in TIERS:
+            raise DynamoError(
+                f"unknown execution tier {tier!r}; expected one of "
+                f"{', '.join(TIERS)}"
+            )
         self.program = program
         self.delay = delay
         self.scheme = scheme
+        self.tier = tier
         self.max_trace_instructions = max_trace_instructions
         self.cache_budget = cache_budget_instructions
         self._machine = Machine(program, memory_words=memory_words)
@@ -251,6 +310,16 @@ class DynamoVM:
     def load_memory(self, values: list[int], base: int = 0) -> None:
         """Pre-populate data memory (program input)."""
         self._machine.load_memory(values, base)
+
+    def state_digest(self) -> str:
+        """Digest of the machine's architectural state.
+
+        The PR 5 proof pattern applied to execution tiers: two runs that
+        agree on this digest produced the same output, registers, memory
+        and call stack, whatever mix of interpreted, step-interpreted
+        and compiled execution got them there.
+        """
+        return state_digest(self._machine)
 
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 10_000_000) -> VMResult:
@@ -264,21 +333,37 @@ class DynamoVM:
             result = self._run(max_steps)
         result.stats.publish(self._obs)
         self._obs.gauge("resident_fragments").set(len(result.fragments))
+        if self.tier == "compiled":
+            self._obs.gauge("resident_compiled").set(len(result.compiled))
         return result
 
     def _run(self, max_steps: int) -> VMResult:
+        if self.tier == "interp":
+            return self._run_interp(max_steps)
         machine = self._machine
         state = machine.state
         instructions = self.program.instructions
+        # Hot-loop locals: every name below is touched per interpreted
+        # instruction; binding them once beats attribute lookups in the
+        # dispatch loop.
+        regs = state.registers
+        memory = state.memory
+        execute = machine._execute_straightline
+        interpret = self._interpret
+        terminators = BLOCK_TERMINATORS
+        cond_branches = COND_BRANCHES
+        max_trace = self.max_trace_instructions
         stats = VMStats()
         fragments: dict[int, VMFragment] = {}
+        compiled_tier = self.tier == "compiled"
+        ccache = CompiledCache() if compiled_tier else None
         occupancy = 0
         counters: dict[int, int] = {}
         hot: set[int] = set()
         recording: list[tuple[int, bool, int]] | None = None
         recording_head = -1
         steps = 0
-        checkpoints: list[tuple[int, int]] = []
+        checkpoints: list[tuple[int, int, int, int]] = []
         next_checkpoint = 2048
         path_profile = self.scheme == "path-profile"
         # Path-profile mode: the always-on shadow segment (bit tracing).
@@ -309,6 +394,8 @@ class DynamoVM:
             stats.fragments_built += 1
             if occupancy + fragment.num_instructions > self.cache_budget:
                 fragments.clear()
+                if ccache is not None:
+                    ccache.flush()
                 occupancy = 0
                 counters.clear()
                 hot.clear()
@@ -316,6 +403,8 @@ class DynamoVM:
                 stats.flushes += 1
             fragments[fragment.head_pc] = fragment
             occupancy += fragment.num_instructions
+            if ccache is not None:
+                ccache.install(compile_fragment(machine, fragment))
 
         def finish_recording(final_target: int) -> None:
             nonlocal recording, recording_head
@@ -351,62 +440,140 @@ class DynamoVM:
                 )
                 next_checkpoint += 2048
 
+        def finish() -> VMResult:
+            if ccache is not None:
+                stats.fragments_compiled = ccache.compiles
+                stats.link_patches = ccache.link_patches
+                stats.link_unpatches = ccache.link_unpatches
+            return VMResult(
+                output=state.output,
+                stats=stats,
+                fragments=fragments,
+                compiled=ccache.resident() if ccache is not None else {},
+                checkpoints=checkpoints,
+            )
+
         while True:
             if steps >= max_steps:
                 raise MachineLimitExceeded(steps)
             checkpoint()
 
-            fragment = fragments.get(state.pc)
-            if fragment is not None and recording is None:
-                if path_profile:
-                    segment = []
-                    segment_bits = []
-                stats.fragment_entries += 1
-                while fragment is not None:
-                    exit_pc, completed = self._run_fragment(fragment, stats)
-                    steps += fragment.num_instructions
-                    checkpoint()
-                    if steps >= max_steps:
-                        raise MachineLimitExceeded(steps)
-                    if exit_pc is None:
-                        return VMResult(
-                            output=state.output,
-                            stats=stats,
-                            fragments=fragments,
-                            checkpoints=checkpoints,
-                        )
-                    state.pc = exit_pc
+            if compiled_tier:
+                cf = ccache.get(state.pc)
+                if cf is not None and recording is None:
                     if path_profile:
-                        # The instrumented fragment counted its own path;
-                        # the interpreter resumes a fresh segment here.
-                        stats.shift_ops += sum(
-                            1
-                            for step in fragment.steps
-                            if step.kind == "guard_cond"
-                        )
-                        stats.table_ops += 1
                         segment = []
-                        segment_head = exit_pc
                         segment_bits = []
-                    next_fragment = fragments.get(exit_pc)
-                    if not completed:
-                        if next_fragment is not None:
-                            # Exit-stub linking: Dynamo patches guard
-                            # exits to jump straight into the target
-                            # fragment — no dispatch, no interpreter.
-                            stats.linked_transfers += 1
-                            fragment = next_fragment
+                    stats.fragment_entries += 1
+                    while cf is not None:
+                        linked, exit_pc, completed, executed, iters = cf.fn(
+                            max_steps - steps
+                        )
+                        frag = cf.fragment
+                        frag.executions += iters
+                        stats.fragment_instructions += executed
+                        # Accounting identity with the fragments tier:
+                        # every pass charges the full fragment size even
+                        # when a guard exits early, and each internal
+                        # superblock back-edge is a completed, linked
+                        # execution.
+                        steps += iters * cf.num_instructions
+                        back_edges = iters - 1
+                        if back_edges:
+                            stats.linked_transfers += back_edges
+                            frag.completions += back_edges
+                            stats.fragment_completions += back_edges
+                        checkpoint()
+                        if steps >= max_steps:
+                            raise MachineLimitExceeded(steps)
+                        if path_profile:
+                            # The halting pass never reaches its path
+                            # end; every other pass counted its own path
+                            # exactly like the fragments tier.
+                            passes = (
+                                iters if exit_pc is not None else back_edges
+                            )
+                            if passes:
+                                stats.shift_ops += cf.n_guard_conds * passes
+                                stats.table_ops += passes
+                        if exit_pc is None:
+                            return finish()
+                        state.pc = exit_pc
+                        if path_profile:
+                            segment = []
+                            segment_head = exit_pc
+                            segment_bits = []
+                        if completed:
+                            frag.completions += 1
+                            stats.fragment_completions += 1
+                            if linked is not None:
+                                stats.linked_transfers += 1
+                            cf = linked
                         else:
-                            if not path_profile:
-                                # Cold exit: plant a secondary trace
-                                # head (NET's exit counters).
-                                bump(exit_pc)
-                            fragment = None
-                    else:
-                        if next_fragment is not None:
-                            stats.linked_transfers += 1
-                        fragment = next_fragment
-                continue
+                            frag.guard_exits += 1
+                            stats.guard_exits += 1
+                            if linked is EXIT_LOOKUP:
+                                linked = ccache.get(exit_pc)
+                            if linked is not None:
+                                stats.linked_transfers += 1
+                                cf = linked
+                            else:
+                                if not path_profile:
+                                    bump(exit_pc)
+                                cf = None
+                    continue
+            else:
+                fragment = fragments.get(state.pc)
+                if fragment is not None and recording is None:
+                    if path_profile:
+                        segment = []
+                        segment_bits = []
+                    stats.fragment_entries += 1
+                    while fragment is not None:
+                        exit_pc, completed = self._run_fragment(
+                            fragment, stats
+                        )
+                        steps += fragment.num_instructions
+                        checkpoint()
+                        if steps >= max_steps:
+                            raise MachineLimitExceeded(steps)
+                        if exit_pc is None:
+                            return finish()
+                        state.pc = exit_pc
+                        if path_profile:
+                            # The instrumented fragment counted its own
+                            # path; the interpreter resumes a fresh
+                            # segment here.
+                            stats.shift_ops += sum(
+                                1
+                                for step in fragment.steps
+                                if step.kind == "guard_cond"
+                            )
+                            stats.table_ops += 1
+                            segment = []
+                            segment_head = exit_pc
+                            segment_bits = []
+                        next_fragment = fragments.get(exit_pc)
+                        if not completed:
+                            if next_fragment is not None:
+                                # Exit-stub linking: Dynamo patches guard
+                                # exits to jump straight into the target
+                                # fragment — no dispatch, no interpreter.
+                                stats.linked_transfers += 1
+                                fragment = next_fragment
+                            else:
+                                if not path_profile:
+                                    # Cold exit: plant a secondary trace
+                                    # head (NET's exit counters).
+                                    bump(exit_pc)
+                                fragment = None
+                        else:
+                            fragment.completions += 1
+                            stats.fragment_completions += 1
+                            if next_fragment is not None:
+                                stats.linked_transfers += 1
+                            fragment = next_fragment
+                    continue
 
             # ----------------------------------------------------------
             # Interpret one instruction.
@@ -414,16 +581,22 @@ class DynamoVM:
             instr = instructions[pc]
             steps += 1
             stats.interpreted_instructions += 1
-            next_pc, taken, halted = self._interpret(instr, pc)
-            if halted:
-                if recording is not None:
-                    recording = None
-                return VMResult(
-                    output=state.output,
-                    stats=stats,
-                    fragments=fragments,
-                    checkpoints=checkpoints,
-                )
+            op = instr.op
+            if op in terminators:
+                next_pc, taken, halted = interpret(instr, pc)
+                if halted:
+                    if recording is not None:
+                        recording = None
+                    return finish()
+            else:
+                # Straight-line fast path: no control flow, so taken is
+                # statically False and next_pc is pc + 1.  state.pc is
+                # set (not saved/restored) so memory faults still report
+                # the right instruction; the loop overwrites it below.
+                state.pc = pc
+                execute(instr, regs, memory)
+                next_pc = pc + 1
+                taken = False
 
             if recording is not None:
                 recording.append((pc, taken, next_pc))
@@ -431,23 +604,64 @@ class DynamoVM:
             backward_taken = taken and next_pc <= pc
             if path_profile:
                 segment.append((pc, taken, next_pc))
-                if instr.op in COND_BRANCHES:
+                if op in cond_branches:
                     segment_bits.append(int(taken))
                     stats.shift_ops += 1
-                if backward_taken or len(segment) >= (
-                    self.max_trace_instructions
-                ):
+                if backward_taken or len(segment) >= max_trace:
                     end_segment(next_pc)
             elif backward_taken:
                 if recording is not None:
                     finish_recording(next_pc)
                 bump(next_pc)
-            elif recording is not None and len(
-                recording
-            ) >= self.max_trace_instructions:
+            elif recording is not None and len(recording) >= max_trace:
                 finish_recording(next_pc)
 
             state.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def _run_interp(self, max_steps: int) -> VMResult:
+        """The ``interp`` tier: plain interpretation, no profiling.
+
+        No counters, no recording, no fragments — the baseline the
+        other tiers are measured against.
+        """
+        machine = self._machine
+        state = machine.state
+        instructions = self.program.instructions
+        regs = state.registers
+        memory = state.memory
+        execute = machine._execute_straightline
+        interpret = self._interpret
+        terminators = BLOCK_TERMINATORS
+        stats = VMStats()
+        steps = 0
+        checkpoints: list[tuple[int, int, int, int]] = []
+        next_checkpoint = 2048
+        while True:
+            if steps >= max_steps:
+                raise MachineLimitExceeded(steps)
+            while steps >= next_checkpoint:
+                checkpoints.append(
+                    (stats.interpreted_instructions, 0, 0, 0)
+                )
+                next_checkpoint += 2048
+            pc = state.pc
+            instr = instructions[pc]
+            steps += 1
+            stats.interpreted_instructions += 1
+            if instr.op in terminators:
+                next_pc, _taken, halted = interpret(instr, pc)
+                if halted:
+                    return VMResult(
+                        output=state.output,
+                        stats=stats,
+                        checkpoints=checkpoints,
+                    )
+                state.pc = next_pc
+            else:
+                state.pc = pc
+                execute(instr, regs, memory)
+                state.pc = pc + 1
 
     # ------------------------------------------------------------------
     def _interpret(
@@ -485,10 +699,11 @@ class DynamoVM:
             return pc, False, True
 
         # Straight-line execution through the machine's own semantics.
-        saved_pc = state.pc
+        # The caller overwrites state.pc afterwards; setting it here
+        # (without save/restore) keeps fault messages pointing at the
+        # faulting instruction.
         state.pc = pc
         machine._execute_straightline(instr, regs, state.memory)
-        state.pc = saved_pc
         return pc + 1, False, False
 
     # ------------------------------------------------------------------
@@ -580,55 +795,73 @@ class DynamoVM:
         """
         machine = self._machine
         state = machine.state
+        # Hot-loop locals: one binding per fragment execution instead of
+        # one attribute walk per step.
         regs = state.registers
+        memory = state.memory
+        call_stack = state.call_stack
+        execute = machine._execute_straightline
+        compare = machine._compare
         fragment.executions += 1
+        executed = 0
 
         for step in fragment.steps:
-            stats.fragment_instructions += 1
+            executed += 1
             instr = step.instruction
             kind = step.kind
             if kind == "exec":
                 if instr.op is Op.CALL:
-                    state.call_stack.append(step.pc + 1)
+                    call_stack.append(step.pc + 1)
                     continue
-                saved_pc = state.pc
+                # One store, no save/restore: every exit path below (and
+                # the dispatcher on return) overwrites state.pc anyway,
+                # and faults should report the faulting instruction.
                 state.pc = step.pc
-                machine._execute_straightline(instr, regs, state.memory)
-                state.pc = saved_pc
+                execute(instr, regs, memory)
                 continue
             if kind == "guard_cond":
-                taken = machine._compare(
-                    instr.op, regs[instr.rs], regs[instr.rt]
-                )
+                taken = compare(instr.op, regs[instr.rs], regs[instr.rt])
                 if taken != step.expected_taken:
                     fragment.guard_exits += 1
                     stats.guard_exits += 1
-                    exit_pc = instr.target if taken else step.pc + 1
-                    return exit_pc, False
+                    stats.fragment_instructions += executed
+                    return (
+                        instr.target if taken else step.pc + 1
+                    ), False
                 continue
             if kind == "guard_target":
                 target = regs[instr.rs]
-                machine._check_leader(
-                    target, "jr" if instr.op is Op.JR else "callr"
-                )
+                matched = target == step.expected_target
+                if not matched:
+                    # The recorded target was validated when the trace
+                    # was interpreted; only a diverging target needs the
+                    # leader check.
+                    machine._check_leader(
+                        target, "jr" if instr.op is Op.JR else "callr"
+                    )
                 if instr.op is Op.CALLR:
-                    state.call_stack.append(step.pc + 1)
-                if target != step.expected_target:
+                    call_stack.append(step.pc + 1)
+                if not matched:
                     fragment.guard_exits += 1
                     stats.guard_exits += 1
+                    stats.fragment_instructions += executed
                     return target, False
                 continue
             if kind == "guard_ret":
-                if not state.call_stack:
+                if not call_stack:
+                    stats.fragment_instructions += executed
                     return None, False  # return from main: halt
-                target = state.call_stack.pop()
+                target = call_stack.pop()
                 if target != step.expected_target:
                     fragment.guard_exits += 1
                     stats.guard_exits += 1
+                    stats.fragment_instructions += executed
                     return target, False
                 continue
             if kind == "halt":
+                stats.fragment_instructions += executed
                 return None, False
+        stats.fragment_instructions += executed
         return fragment.final_target, True
 
 
@@ -639,9 +872,22 @@ def run_mini_dynamo(
     max_steps: int = 10_000_000,
     config: DynamoConfig = DEFAULT_CONFIG,
     obs: Registry | None = None,
+    tier: str | None = None,
+    scheme: str = "net",
 ) -> VMResult:
-    """Convenience wrapper: run ``program`` under the miniature Dynamo."""
-    vm = DynamoVM(program, delay=delay, obs=obs)
+    """Convenience wrapper: run ``program`` under the miniature Dynamo.
+
+    The execution tier defaults to ``config.tier``; pass ``tier=`` to
+    override per call.
+    """
+    vm = DynamoVM(
+        program,
+        delay=delay,
+        scheme=scheme,
+        cache_budget_instructions=config.cache_budget_instructions,
+        tier=tier if tier is not None else config.tier,
+        obs=obs,
+    )
     if memory:
         vm.load_memory(memory)
     return vm.run(max_steps=max_steps)

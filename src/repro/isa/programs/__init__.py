@@ -44,8 +44,48 @@ ALL_PROGRAMS = {
     "lexer": lexer,
 }
 
+#: Canonical full-scale input size per program (seed 3 everywhere).
+#: Shared by the wall-clock benchmarks and the ``repro minidynamo`` CLI
+#: so measured numbers are comparable across entry points.
+_DEMO_SIZES = {
+    "rle": 20_000,
+    "stackvm": 2_000,
+    "propagate": 120,
+    "sort": 400,
+    "matmul": 20,
+    "hashtable": 6_000,
+    "lexer": 30_000,
+}
+
+
+def demo_memory(name: str, scale: float = 1.0) -> list[int]:
+    """The canonical input image for one bundled program.
+
+    ``scale`` multiplies the program's size knob (run count, sweeps,
+    matrix size…), floored at 1 — benchmarks use ``scale=1.0``, smoke
+    runs shrink it.
+    """
+    if name not in ALL_PROGRAMS:
+        raise KeyError(
+            f"unknown program {name!r}; expected one of "
+            f"{', '.join(sorted(ALL_PROGRAMS))}"
+        )
+    size = max(1, int(_DEMO_SIZES[name] * scale))
+    module = ALL_PROGRAMS[name]
+    if name == "stackvm":
+        return module.make_memory(module.sum_program(size))
+    if name == "propagate":
+        return module.make_memory(seed=3, sweeps=size)
+    if name == "matmul":
+        return module.make_memory(seed=3, k=size)
+    if name == "hashtable":
+        return module.make_memory(seed=3, num_ops=size)
+    return module.make_memory(seed=3, size=size)
+
+
 __all__ = [
     "ALL_PROGRAMS",
+    "demo_memory",
     "hashtable",
     "lexer",
     "matmul",

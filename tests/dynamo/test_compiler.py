@@ -1,0 +1,410 @@
+"""The compiled fragment tier: digest identity, linking, accounting.
+
+The contract under test is the PR 5 proof pattern applied to execution
+tiers: ``compiled`` must be digest-identical (output, registers, memory,
+call stack) to both other tiers and counter-identical to ``fragments``
+on every bundled program, under every cache/flush/trace-cap regime.
+Link patching (install, eviction, guard-exit retargeting, flush) is
+unit-tested against :class:`repro.dynamo.compiler.CompiledCache`.
+"""
+
+import pytest
+
+from repro.dynamo import (
+    TIERS,
+    CompiledCache,
+    DynamoConfig,
+    DynamoSystem,
+    DynamoVM,
+    compile_fragment,
+    run_mini_dynamo,
+)
+from repro.errors import DynamoError, MachineError, MachineLimitExceeded
+from repro.isa import assemble
+from repro.isa.machine import Machine
+from repro.isa.programs import ALL_PROGRAMS, demo_memory, rle, sort
+
+#: VMStats fields the fragments and compiled tiers must agree on
+#: exactly; the compiled-only counters (fragments_compiled,
+#: link_patches, link_unpatches) legitimately differ from zero.
+SHARED_STAT_FIELDS = (
+    "interpreted_instructions",
+    "fragment_instructions",
+    "counter_bumps",
+    "shift_ops",
+    "table_ops",
+    "recorded_instructions",
+    "fragments_built",
+    "fragment_entries",
+    "fragment_completions",
+    "linked_transfers",
+    "guard_exits",
+    "flushes",
+)
+
+#: Small per-program inputs that still build and reuse fragments.
+SMALL_INPUT_SCALE = 0.2
+
+
+def _run_tier(program, memory, tier, **kwargs):
+    vm = DynamoVM(program, tier=tier, **kwargs)
+    vm.load_memory(memory)
+    result = vm.run(max_steps=50_000_000)
+    return vm, result
+
+
+def assert_tier_identity(program, memory, **kwargs):
+    """All three tiers digest-equal; fragments == compiled on stats."""
+    digests = {}
+    results = {}
+    for tier in TIERS:
+        vm, result = _run_tier(program, memory, tier, **kwargs)
+        digests[tier] = vm.state_digest()
+        results[tier] = result
+    assert digests["interp"] == digests["fragments"] == digests["compiled"]
+    frag, comp = results["fragments"].stats, results["compiled"].stats
+    for field in SHARED_STAT_FIELDS:
+        assert getattr(frag, field) == getattr(comp, field), field
+    return results
+
+
+# ----------------------------------------------------------------------
+# Digest identity across every bundled program.
+@pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+def test_tiers_digest_identical(name):
+    program = ALL_PROGRAMS[name].build()
+    memory = demo_memory(name, scale=SMALL_INPUT_SCALE)
+    results = assert_tier_identity(program, memory, delay=5)
+    # The compiled tier actually compiled and ran something.
+    comp = results["compiled"].stats
+    assert comp.fragments_compiled == comp.fragments_built > 0
+    assert comp.fragment_instructions > 0
+    assert results["compiled"].compiled  # resident closures exposed
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+def test_tiers_digest_identical_path_profile(name):
+    program = ALL_PROGRAMS[name].build()
+    memory = demo_memory(name, scale=SMALL_INPUT_SCALE)
+    assert_tier_identity(program, memory, delay=5, scheme="path-profile")
+
+
+@pytest.mark.parametrize("budget", [8, 16])
+def test_tiers_identical_under_flush_pressure(budget):
+    """A tiny budget forces repeated whole-cache flushes + unlinking."""
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=1500)
+    results = assert_tier_identity(
+        program, memory, delay=3, cache_budget_instructions=budget
+    )
+    comp = results["compiled"].stats
+    assert comp.flushes > 0
+    assert comp.link_unpatches > 0
+
+
+def test_tiers_identical_under_short_traces():
+    program = sort.build()
+    memory = sort.make_memory(seed=3, size=60)
+    assert_tier_identity(
+        program, memory, delay=3, max_trace_instructions=4
+    )
+
+
+def test_compiled_respects_max_steps():
+    """The self-loop fuel check: both tiers stop on the same step."""
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=4000)
+    for max_steps in (3000, 12345):
+        outcomes = {}
+        for tier in ("fragments", "compiled"):
+            vm = DynamoVM(program, delay=5, tier=tier)
+            vm.load_memory(memory)
+            with pytest.raises(MachineLimitExceeded) as err:
+                vm.run(max_steps=max_steps)
+            outcomes[tier] = (err.value.args, vm.state_digest())
+        assert outcomes["fragments"] == outcomes["compiled"]
+
+
+# ----------------------------------------------------------------------
+# Fault parity: compiled slow paths raise the machine's own errors.
+def test_compiled_division_by_zero_message():
+    source = """
+.proc main
+    li r1, 12
+    li r2, 3
+    li r3, 0
+loop:
+    div r4, r1, r2
+    out r4
+    addi r2, r2, -1
+    bge r2, r3, loop
+    halt
+.endproc
+"""
+    program = assemble(source)
+    errors = {}
+    for tier in ("fragments", "compiled"):
+        vm = DynamoVM(program, delay=0, tier=tier)
+        with pytest.raises(MachineError) as err:
+            vm.run(max_steps=100_000)
+        errors[tier] = str(err.value)
+    assert errors["fragments"] == errors["compiled"]
+    assert "division by zero at instruction" in errors["compiled"]
+
+
+def test_compiled_memory_growth_and_fault():
+    """ST beyond the current list grows in place; beyond the cap faults."""
+    grow = """
+.proc main
+    li r1, 0
+    li r2, 40
+    li r3, 5000
+loop:
+    st r1, r3, 0
+    addi r3, r3, 7
+    addi r1, r1, 1
+    blt r1, r2, loop
+    ld r4, r3, -7
+    out r4
+    halt
+.endproc
+"""
+    program = assemble(grow)
+    digests = {}
+    outputs = {}
+    for tier in ("fragments", "compiled"):
+        vm = DynamoVM(program, delay=0, tier=tier)
+        result = vm.run(max_steps=100_000)
+        digests[tier] = vm.state_digest()
+        outputs[tier] = result.output
+    assert digests["fragments"] == digests["compiled"]
+    assert outputs["compiled"] == [39]
+
+    fault = """
+.proc main
+    li r1, 0
+    li r2, 40
+    li r3, 5000
+loop:
+    st r1, r3, 0
+    addi r3, r3, 7000000
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+.endproc
+"""
+    program = assemble(fault)
+    errors = {}
+    for tier in ("fragments", "compiled"):
+        vm = DynamoVM(program, delay=0, tier=tier)
+        with pytest.raises(MachineError) as err:
+            vm.run(max_steps=100_000)
+        errors[tier] = str(err.value)
+    assert errors["fragments"] == errors["compiled"]
+
+
+# ----------------------------------------------------------------------
+# Fragment accounting (the satellite fix): halting executions count as
+# executions, never as completions.
+def test_halt_mid_fragment_counts_execution_not_completion():
+    source = """
+.proc main
+    li r1, 0
+    li r2, 30
+loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+.endproc
+"""
+    program = assemble(source)
+    for tier in ("fragments", "compiled"):
+        vm = DynamoVM(program, delay=2, tier=tier)
+        result = vm.run(max_steps=100_000)
+        # The loop fragment spins, then its guard fails and the halt
+        # runs interpreted — or the halt lands inside a fragment; in
+        # both cases executions strictly exceed completions.
+        for fragment in result.fragments.values():
+            assert fragment.executions >= fragment.completions
+        stats = result.stats
+        total_exec = sum(
+            f.executions for f in result.fragments.values()
+        )
+        total_complete = sum(
+            f.completions for f in result.fragments.values()
+        )
+        assert total_complete == stats.fragment_completions
+        assert total_exec > total_complete
+
+
+def test_stats_publish_includes_tier_counters():
+    from repro.obs import Registry
+
+    registry = Registry()
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=1200)
+    vm = DynamoVM(program, delay=5, tier="compiled", obs=registry)
+    vm.load_memory(memory)
+    vm.run(max_steps=10_000_000)
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    assert counters["vm.fragments_compiled"] > 0
+    assert counters["vm.link_patches"] > 0
+    assert counters["vm.fragment_completions"] > 0
+    assert snapshot["gauges"]["vm.resident_compiled"] > 0
+
+
+# ----------------------------------------------------------------------
+# The interp tier really is the bare interpreter.
+def test_interp_tier_never_profiles():
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=1200)
+    vm = DynamoVM(program, delay=0, tier="interp")
+    vm.load_memory(memory)
+    result = vm.run(max_steps=10_000_000)
+    stats = result.stats
+    assert stats.counter_bumps == 0
+    assert stats.fragments_built == 0
+    assert stats.fragment_instructions == 0
+    assert not result.fragments
+    assert not result.compiled
+    assert stats.interpreted_instructions > 0
+
+
+# ----------------------------------------------------------------------
+# Tier knob validation and threading.
+def test_tier_validation():
+    program = assemble(".proc main\n    halt\n.endproc")
+    with pytest.raises(DynamoError):
+        DynamoVM(program, tier="jit")
+    with pytest.raises(DynamoError):
+        DynamoConfig(tier="native")
+
+
+def test_config_tier_threads_through_system_and_wrapper():
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=800)
+    config = DynamoConfig(tier="compiled")
+    system = DynamoSystem(config=config)
+    result = system.run_vm(program, memory, delay=5)
+    assert result.stats.fragments_compiled > 0
+    # Per-call override beats the config.
+    result = system.run_vm(program, memory, delay=5, tier="interp")
+    assert result.stats.fragments_built == 0
+    # run_mini_dynamo picks the tier off the config too.
+    result = run_mini_dynamo(
+        program, memory, delay=5, config=config, max_steps=10_000_000
+    )
+    assert result.stats.fragments_compiled > 0
+
+
+# ----------------------------------------------------------------------
+# CompiledCache link-patching units.
+def _make_compiled(machine, head_pc, final_target, n_ops=2):
+    """A tiny synthetic fragment (NOP bodies) compiled for ``machine``."""
+    from repro.dynamo.vm import VMFragment, VMStep
+    from repro.isa.instructions import Instruction, Op
+
+    steps = [
+        VMStep(
+            pc=head_pc + i,
+            instruction=Instruction(op=Op.NOP),
+            kind="exec",
+        )
+        for i in range(n_ops)
+    ]
+    fragment = VMFragment(
+        head_pc=head_pc,
+        steps=steps,
+        final_target=final_target,
+        created_at_step=0,
+    )
+    return compile_fragment(machine, fragment)
+
+
+@pytest.fixture
+def machine():
+    return Machine(assemble(".proc main\n    halt\n.endproc"))
+
+
+def test_install_patches_completion_links(machine):
+    cache = CompiledCache()
+    a = _make_compiled(machine, 10, 20)
+    b = _make_compiled(machine, 20, 10)
+    cache.install(a)
+    assert a.succ_cell[0] is None  # b not resident yet
+    cache.install(b)
+    # Installing b retargets a's completion link and patches b's own.
+    assert a.succ_cell[0] is b
+    assert b.succ_cell[0] is a
+    assert cache.link_patches == 2
+
+
+def test_install_self_loop_sets_loop_cell(machine):
+    cache = CompiledCache()
+    loop = _make_compiled(machine, 30, 30)
+    cache.install(loop)
+    assert loop.succ_cell[0] is loop
+    assert loop.loop_cell[0] is True
+
+
+def test_evict_unpatches_incoming_and_outgoing(machine):
+    cache = CompiledCache()
+    a = _make_compiled(machine, 10, 20)
+    b = _make_compiled(machine, 20, 10)
+    cache.install(a)
+    cache.install(b)
+    evicted = cache.evict(20)
+    assert evicted is b
+    assert a.succ_cell[0] is None  # incoming link to b cleared
+    assert b.succ_cell[0] is None  # b's own outgoing link cleared
+    assert cache.get(20) is None
+    assert cache.link_unpatches == 2
+
+
+def test_flush_unlinks_everything(machine):
+    cache = CompiledCache()
+    loop = _make_compiled(machine, 10, 10)
+    other = _make_compiled(machine, 20, 10)
+    cache.install(loop)
+    cache.install(other)
+    assert other.succ_cell[0] is loop
+    cache.flush()
+    assert len(cache) == 0
+    assert loop.succ_cell[0] is None
+    assert loop.loop_cell[0] is False
+    assert other.succ_cell[0] is None
+
+
+def test_guard_exit_retargeting_on_install():
+    """A live run patches existing guard-exit stubs when the fragment
+    at that exit pc materializes later (Dynamo's exit-stub patching)."""
+    program = sort.build()
+    memory = sort.make_memory(seed=3, size=80)
+    vm = DynamoVM(program, delay=3, tier="compiled")
+    vm.load_memory(memory)
+    result = vm.run(max_steps=10_000_000)
+    # Some resident closure must have a patched static guard exit —
+    # proof that exit stubs were retargeted to later fragments.
+    patched = [
+        (exit_pc, cell[0])
+        for cf in result.compiled.values()
+        for exit_pc, cell in cf.static_exits
+        if cell[0] is not None
+    ]
+    assert patched
+    for exit_pc, target in patched:
+        assert target.head_pc == exit_pc
+    assert result.stats.link_patches > 0
+
+
+def test_compiled_source_is_kept_for_inspection():
+    program = rle.build()
+    memory = rle.make_memory(seed=3, size=800)
+    vm = DynamoVM(program, delay=5, tier="compiled")
+    vm.load_memory(memory)
+    result = vm.run(max_steps=10_000_000)
+    assert result.compiled
+    some = next(iter(result.compiled.values()))
+    assert "def _fragment(fuel):" in some.source
+    assert "return _fragment" in some.source

@@ -1,0 +1,96 @@
+"""Property: execution tiers are interchangeable on every program.
+
+Hypothesis drives the whole regime space — program × prediction delay ×
+trace-length cap × cache budget (flush schedules) × scheme — and the
+three execution tiers must agree digest-exactly on the final machine
+state, with the fragments and compiled tiers also agreeing on every
+shared counter.  This is the PR 5 "prove it, don't eyeball it" pattern
+applied to the compiled superblock tier.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dynamo import TIERS, DynamoVM
+from repro.errors import MachineLimitExceeded
+from repro.isa.programs import ALL_PROGRAMS, demo_memory
+
+MAX_STEPS = 30_000_000
+
+#: Small enough to run hundreds of times, big enough to loop hot.
+INPUT_SCALE = 0.04
+
+#: Shared VMStats fields that must match between fragments and compiled.
+SHARED_STAT_FIELDS = (
+    "interpreted_instructions",
+    "fragment_instructions",
+    "counter_bumps",
+    "shift_ops",
+    "table_ops",
+    "recorded_instructions",
+    "fragments_built",
+    "fragment_entries",
+    "fragment_completions",
+    "linked_transfers",
+    "guard_exits",
+    "flushes",
+)
+
+#: Programs and inputs are deterministic; build once per session.
+_PROGRAMS = {
+    name: (module.build(), demo_memory(name, scale=INPUT_SCALE))
+    for name, module in ALL_PROGRAMS.items()
+}
+
+
+def _run(name, tier, delay, max_trace, budget, scheme):
+    program, memory = _PROGRAMS[name]
+    vm = DynamoVM(
+        program,
+        delay=delay,
+        scheme=scheme,
+        max_trace_instructions=max_trace,
+        cache_budget_instructions=budget,
+        tier=tier,
+    )
+    vm.load_memory(list(memory))
+    try:
+        result = vm.run(max_steps=MAX_STEPS)
+        stats = result.stats
+    except MachineLimitExceeded as err:  # pragma: no cover - safety net
+        result, stats = None, err.args
+    return vm.state_digest(), stats
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    name=st.sampled_from(sorted(ALL_PROGRAMS)),
+    delay=st.integers(min_value=0, max_value=40),
+    max_trace=st.sampled_from([4, 8, 32, 128]),
+    budget=st.sampled_from([16, 200, 60_000]),
+    scheme=st.sampled_from(["net", "net", "net", "path-profile"]),
+)
+def test_tiers_equivalent(name, delay, max_trace, budget, scheme):
+    digests = {}
+    stats = {}
+    for tier in TIERS:
+        digests[tier], stats[tier] = _run(
+            name, tier, delay, max_trace, budget, scheme
+        )
+    assert (
+        digests["interp"] == digests["fragments"] == digests["compiled"]
+    ), (name, delay, max_trace, budget, scheme)
+    frag, comp = stats["fragments"], stats["compiled"]
+    for field in SHARED_STAT_FIELDS:
+        assert getattr(frag, field) == getattr(comp, field), (
+            name,
+            delay,
+            max_trace,
+            budget,
+            scheme,
+            field,
+        )

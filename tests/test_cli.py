@@ -351,6 +351,55 @@ def test_dynamo(capsys):
     assert "net" in out and "path-profile" in out
 
 
+def test_minidynamo(capsys):
+    assert main(
+        ["minidynamo", "rle", "--scale", "0.02", "--delay", "5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tier=compiled" in out
+    assert "rle" in out
+
+
+def test_minidynamo_tiers(capsys):
+    for tier in ("interp", "fragments"):
+        assert main(
+            [
+                "minidynamo",
+                "sort",
+                "--tier",
+                tier,
+                "--scale",
+                "0.05",
+                "--delay",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"tier={tier}" in out
+
+
+def test_minidynamo_metrics(capsys, tmp_path):
+    manifest = tmp_path / "metrics.json"
+    assert main(
+        [
+            "minidynamo",
+            "rle",
+            "--scale",
+            "0.02",
+            "--delay",
+            "5",
+            "--metrics-json",
+            str(manifest),
+            "--quiet-metrics",
+        ]
+    ) == 0
+    capsys.readouterr()
+    counters = json.loads(manifest.read_text())["counters"]
+    assert counters["dynamo.vm.fragments_compiled"] > 0
+    assert counters["dynamo.vm.link_patches"] > 0
+    assert counters["dynamo.vm.fragment_completions"] > 0
+
+
 def test_save_and_info(capsys, tmp_path):
     target = tmp_path / "db"
     assert main(
