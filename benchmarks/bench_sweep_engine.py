@@ -20,6 +20,16 @@ resilience policy (per-batch deadline armed, retries budgeted — the
 parallel run.  On a healthy sweep the resilience machinery is pure
 bookkeeping — deadline arithmetic in the streaming wait loop — so its
 overhead must also stay small.
+
+PR 10 adds two legs.  *Adaptive* runs ``backend="adaptive"`` with a
+ledger warmed by the observed leg, so the cost model decides from real
+measurements; the gate is asymmetric by machine shape — on multiple
+CPUs adaptive must never lose to cold serial (speedup >= 1.0: the
+whole point of a cost model is to stop paying for parallelism that
+cannot win), and on one CPU the model must *select serial* and stay
+within a few percent of plain serial (the decision is the product;
+the overhead is prediction bookkeeping only).  *Remote* drives the
+sweep through two in-process TCP workers and must stay byte-identical.
 """
 
 from __future__ import annotations
@@ -30,10 +40,13 @@ import time
 from conftest import BENCH_FLOW_SCALE, emit, emit_json
 
 from repro.experiments.engine import (
+    CostLedger,
     SweepCache,
     run_sweep,
     shared_memory_available,
+    trace_digest,
 )
+from repro.experiments.engine.remote import start_worker
 from repro.experiments.report import fmt, render_table
 from repro.obs import Registry
 from repro.resilience import RetryPolicy
@@ -63,6 +76,16 @@ MAX_RESILIENCE_OVERHEAD_PERCENT = 25.0
 #: far above any healthy batch, so nothing ever trips on this bench.
 RESILIENT = RetryPolicy(max_retries=2, task_timeout=600.0)
 
+#: Multi-CPU floor for the adaptive backend vs cold serial.  1.0 — the
+#: cost model may at worst match serial (by choosing it); it must never
+#: pick a configuration that loses to it.
+MIN_ADAPTIVE_SPEEDUP_MULTI_CORE = 1.0
+
+#: Single-CPU ceiling on adaptive overhead vs plain serial.  The model
+#: must select serial there, so the remaining cost is prediction and
+#: ledger bookkeeping only.
+MAX_ADAPTIVE_OVERHEAD_SINGLE_CORE_PERCENT = 5.0
+
 
 def _timed(runner) -> tuple[float, list]:
     start = time.perf_counter()
@@ -73,10 +96,20 @@ def _timed(runner) -> tuple[float, list]:
 def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
     cache = SweepCache(engine_cache_dir / "figure2")
 
+    # Digests are memoized per trace: whichever leg computes them first
+    # would otherwise eat the whole hashing bill and skew its timing
+    # (ledger, pool and cache legs all need them).  Pay it once, as
+    # setup, so every leg measures only its own work.
+    for trace in full_traces.values():
+        trace_digest(trace)
+
     serial_s, serial = _timed(lambda: run_sweep(full_traces))
     registry = Registry()
+    # The observed leg doubles as the ledger-warming leg: its per-cell
+    # measurements are what the adaptive leg predicts from.
+    ledger = CostLedger(engine_cache_dir / "bench-costs.json")
     observed_s, observed = _timed(
-        lambda: run_sweep(full_traces, obs=registry)
+        lambda: run_sweep(full_traces, obs=registry, ledger=ledger)
     )
     parallel_s, parallel = _timed(
         lambda: run_sweep(full_traces, workers=WORKERS)
@@ -84,14 +117,47 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
     resilient_s, resilient = _timed(
         lambda: run_sweep(full_traces, workers=WORKERS, resilience=RESILIENT)
     )
+    plan_log: list = []
+    adaptive_s, adaptive = _timed(
+        lambda: run_sweep(
+            full_traces,
+            backend="adaptive",
+            workers=WORKERS,
+            ledger=CostLedger.load(ledger.path),
+            plan_log=plan_log,
+        )
+    )
+    servers = [start_worker()[0] for _ in range(WORKERS)]
+    try:
+        remote_s, remote_points = _timed(
+            lambda: run_sweep(
+                full_traces,
+                backend="remote",
+                remote=[f"127.0.0.1:{server.port}" for server in servers],
+            )
+        )
+    finally:
+        for server in servers:
+            server.shutdown()
+            server.server_close()
     cold_s, cold = _timed(lambda: run_sweep(full_traces, cache=cache))
     warm_s, warm = _timed(lambda: run_sweep(full_traces, cache=cache))
 
     assert observed == serial  # metrics never change results
     assert parallel == serial
     assert resilient == serial  # fault handling never changes results
+    assert adaptive == serial  # backend choice never changes results
+    assert remote_points == serial  # the wire round-trip is lossless
     assert cold == serial
     assert warm == serial
+
+    decision = next(e for e in plan_log if e["event"] == "decision")
+    # Warm ledger: every prediction comes from a measurement, none from
+    # the cold-start default.
+    predict_sources = {
+        e["source"] for e in plan_log if e["event"] == "predict"
+    }
+    assert "default" not in predict_sources
 
     overhead_percent = 100.0 * (observed_s / serial_s - 1.0)
     assert overhead_percent < MAX_OBS_OVERHEAD_PERCENT
@@ -112,7 +178,9 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
         if cpu_count >= WORKERS
         else MIN_PARALLEL_SPEEDUP_SINGLE_CORE
     )
-    # Only hold the full calibrated workload to the speedup bar: at
+    adaptive_speedup = serial_s / adaptive_s
+    adaptive_overhead_percent = 100.0 * (adaptive_s / serial_s - 1.0)
+    # Only hold the full calibrated workload to the speedup bars: at
     # smoke scale pool spin-up dominates the replay work it amortizes.
     if BENCH_FLOW_SCALE >= 1.0:
         assert parallel_speedup >= min_parallel_speedup, (
@@ -120,6 +188,30 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
             f"{parallel_speedup:.2f}x cold serial on {cpu_count} CPU(s); "
             f"the floor is {min_parallel_speedup:.2f}x"
         )
+        if cpu_count > 1:
+            # The tightened adaptive gate: with real parallel headroom
+            # the cost model must never lose to cold serial.
+            assert adaptive_speedup >= MIN_ADAPTIVE_SPEEDUP_MULTI_CORE, (
+                f"adaptive backend chose {decision['backend']} and ran "
+                f"at {adaptive_speedup:.2f}x cold serial on "
+                f"{cpu_count} CPUs; the floor is "
+                f"{MIN_ADAPTIVE_SPEEDUP_MULTI_CORE:.2f}x"
+            )
+        else:
+            # One CPU: the correct decision IS serial, and making it
+            # must cost no more than prediction bookkeeping.
+            assert decision["backend"] == "serial", (
+                "on 1 CPU the cost model must select serial, chose "
+                f"{decision['backend']}"
+            )
+            assert adaptive_overhead_percent <= (
+                MAX_ADAPTIVE_OVERHEAD_SINGLE_CORE_PERCENT
+            ), (
+                "adaptive-selected serial ran "
+                f"{adaptive_overhead_percent:+.2f}% vs plain serial; "
+                "the ceiling is "
+                f"{MAX_ADAPTIVE_OVERHEAD_SINGLE_CORE_PERCENT:.1f}%"
+            )
 
     rows = [
         ["cold serial (null registry)", fmt(serial_s, 2), fmt(1.0, 2)],
@@ -129,6 +221,10 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
          fmt(serial_s / parallel_s, 2)],
         [f"cold parallel + resilience (timeout={RESILIENT.task_timeout:g}s)",
          fmt(resilient_s, 2), fmt(serial_s / resilient_s, 2)],
+        [f"adaptive (chose {decision['backend']}, warm ledger)",
+         fmt(adaptive_s, 2), fmt(adaptive_speedup, 2)],
+        [f"remote ({WORKERS} local TCP workers)", fmt(remote_s, 2),
+         fmt(serial_s / remote_s, 2)],
         ["cold serial + cache fill", fmt(cold_s, 2),
          fmt(serial_s / cold_s, 2)],
         ["warm cache", fmt(warm_s, 2), fmt(serial_s / warm_s, 2)],
@@ -175,6 +271,19 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
                     "seconds": resilient_s,
                     "speedup": serial_s / resilient_s,
                 },
+                "adaptive": {
+                    "seconds": adaptive_s,
+                    "speedup": adaptive_speedup,
+                    "chosen_backend": decision["backend"],
+                    "chosen_workers": decision["workers"],
+                    "predicted_ms": decision["predicted_ms"],
+                    "calibrated_dispatch": decision["calibrated"],
+                },
+                "remote": {
+                    "seconds": remote_s,
+                    "speedup": serial_s / remote_s,
+                    "workers": WORKERS,
+                },
                 "cold_serial_cache_fill": {
                     "seconds": cold_s,
                     "speedup": serial_s / cold_s,
@@ -187,6 +296,14 @@ def test_sweep_engine(full_traces, results_dir, engine_cache_dir):
             "overheads_percent": {
                 "metrics": overhead_percent,
                 "resilience": resilience_percent,
+                "adaptive_vs_serial": adaptive_overhead_percent,
+            },
+            "adaptive_gate": {
+                "applied": BENCH_FLOW_SCALE >= 1.0,
+                "min_speedup_multi_core": MIN_ADAPTIVE_SPEEDUP_MULTI_CORE,
+                "max_overhead_single_core_percent": (
+                    MAX_ADAPTIVE_OVERHEAD_SINGLE_CORE_PERCENT
+                ),
             },
         },
     )

@@ -3,17 +3,32 @@ deterministic assembly.
 
 :func:`run_sweep` is the one entry point every delay sweep goes
 through.  It plans the (benchmark, scheme, τ) grid, serves whatever the
-cache already holds, replays only the remaining cells — serially or on
-a :class:`~concurrent.futures.ProcessPoolExecutor` — and assembles the
-results back into the canonical order by task index.
+cache already holds, and replays only the remaining cells on one of
+five backends: in-process **serial**, a **thread** pool, a **process**
+pool over the zero-copy data plane, **remote** ``repro worker``
+processes over TCP (:mod:`repro.experiments.engine.remote`), or
+**adaptive** — a cost model picks among the local backends from
+measured per-cell history (:mod:`repro.experiments.engine.scheduler`).
 
 Determinism guarantee: each cell is a pure function of its trace and
 coordinates, computed by the same :func:`_run_cells` code path in every
 mode, and the output list is ordered by the planner's canonical index
-rather than by completion order.  Serial, parallel, cached and *retried*
-runs of the same sweep therefore return *equal* point lists, and every
-rendered figure built from them is byte-identical — a property the
-equivalence test-suite locks down.
+rather than by completion order.  Serial, parallel, remote, cached,
+*stolen* and *retried* runs of the same sweep therefore return *equal*
+point lists, and every rendered figure built from them is
+byte-identical — a property the equivalence test-suite locks down.
+
+Scheduling: parallel modes no longer drain a FIFO — pending batches are
+LPT-assigned to per-slot deques by predicted cost and idle slots
+*steal* from loaded ones (:class:`~repro.experiments.engine.scheduler.
+StealingScheduler`).  Steal decisions are pure functions of the
+predicted costs (or a scripted schedule in tests), logged per event,
+and never affect results.  Every completed cell's wall clock is
+recorded into the run manifest (``sweep.cell_ms`` histogram plus a
+``sweep.cell.<benchmark>:<scheme>:<τ>`` timer per cell) and folded into
+the persistent :class:`~repro.experiments.engine.scheduler.CostLedger`
+when one is supplied, so the next run's plan is driven by this run's
+measurements.
 
 Resilience (see :mod:`repro.resilience` and ``docs/resilience.md``):
 batches stream through the pool and every completed batch is written to
@@ -23,33 +38,39 @@ resumable cache rather than losing all replayed-but-unstored cells.  A
 deterministic exponential backoff) and per-attempt timeouts; a broken
 process pool is respawned with its orphaned batches requeued, and past
 the restart budget the executor degrades to in-process serial execution
-instead of failing.  SIGINT/SIGTERM drain completed work, flush the
-cache, and raise :class:`~repro.errors.SweepInterrupted` carrying the
-partial results.  A :class:`~repro.resilience.FaultPlan` threads
-deterministic fault injection through :func:`_run_cells`, so the whole
-failure matrix is testable without real process murder.
+instead of failing.  A lost *remote* worker fails its in-flight batch
+with the same :class:`~repro.errors.WorkerCrashError` a crashed pool
+worker produces — the batch requeues onto the surviving workers, and
+with every worker gone the sweep degrades to serial.  SIGINT/SIGTERM
+drain completed work, flush the cache, and raise
+:class:`~repro.errors.SweepInterrupted` carrying the partial results.
+A :class:`~repro.resilience.FaultPlan` threads deterministic fault
+injection through :func:`_run_cells` (and through the remote pool for
+the ``lost_worker`` kind), so the whole failure matrix is testable
+without real process murder.
 
 Observability: pass ``obs`` (a :class:`repro.obs.Registry`) and the
 engine accounts for itself under the ``sweep.`` prefix — cells planned
-/ cached / replayed, replay and hot-set timers, the predictors'
-``profiling_ops``/``counter_space`` totals, and the resilience traffic
-(``retries`` / ``timeouts`` / ``pool_restarts`` / ``fallback_serial``).
-Pool workers measure into a local registry that travels back with their
-points and is merged as each batch completes, so parallel runs report
-the same totals as serial ones.  With no registry (the default) every
-instrument resolves to the shared null registry and the replay path is
+/ cached / replayed, replay / hot-set / per-cell timers, the chosen
+backend, steal counts, and the resilience traffic (``retries`` /
+``timeouts`` / ``pool_restarts`` / ``fallback_serial``).  Pool workers
+measure into a local registry that travels back with their points and
+is merged as each batch completes, so parallel runs report the same
+totals as serial ones.  With no registry (the default) every instrument
+resolves to the shared null registry and the replay path is
 byte-for-byte the uninstrumented one.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
     Future,
     ProcessPoolExecutor,
+    ThreadPoolExecutor,
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
@@ -64,6 +85,7 @@ from repro.errors import (
 from repro.experiments.engine.cache import SweepCache, cache_key, trace_digest
 from repro.experiments.engine.dataplane import (
     ReplayContext,
+    TraceArchive,
     TraceDataPlane,
     install_worker_handles,
     worker_context,
@@ -74,6 +96,19 @@ from repro.experiments.engine.planner import (
     chunk_tasks,
     group_by_benchmark,
     plan_sweep,
+)
+from repro.experiments.engine.scheduler import (
+    BACKENDS,
+    CELL_MS_BUCKETS,
+    CELL_TIMER_PREFIX,
+    DEFAULT_CELL_MS,
+    BackendDecision,
+    CostLedger,
+    CostModel,
+    DispatchModel,
+    StealingScheduler,
+    cell_name,
+    choose_backend,
 )
 from repro.experiments.sweep import (
     DEFAULT_DELAYS,
@@ -107,7 +142,7 @@ def _run_cells(
     faults: FaultPlan | None = None,
     batch_index: int = 0,
     attempt: int = 0,
-) -> tuple[list[SweepPoint], dict | None]:
+) -> tuple[list[SweepPoint], dict | None, list[float]]:
     """Replay a batch of (scheme, τ) cells on one replay context.
 
     The context memoizes the per-trace precomputations (hot set,
@@ -119,6 +154,10 @@ def _run_cells(
     registry and returns its snapshot alongside the points (relative
     names; the caller mounts it wherever it belongs).  The points are
     identical either way.
+
+    The third element of the payload is each cell's wall-clock cost in
+    milliseconds, measured unconditionally (two clock reads per cell)
+    so the parent can feed the cost ledger in every mode.
 
     ``faults`` is the deterministic fault-injection hook: planned
     crashes/hangs fire before the replay, corruption mangles the
@@ -132,16 +171,19 @@ def _run_cells(
     with obs.span("hot_set"):
         hot = context.hot
     points = []
+    cell_ms: list[float] = []
     for scheme, delay in cells:
+        started = time.perf_counter()
         with obs.span("replay"):
             outcome = make_predictor(scheme, delay).run(trace)
             quality = evaluate_prediction(trace, hot, outcome)
+        cell_ms.append((time.perf_counter() - started) * 1000.0)
         obs.counter("cells_replayed").inc()
         outcome.publish(obs.child("prediction"))
         points.append(SweepPoint.from_quality(trace.name, quality))
     if faults is not None:
         points = faults.after(batch_index, attempt, points)
-    return points, (obs.snapshot() if observe else None)
+    return points, (obs.snapshot() if observe else None), cell_ms
 
 
 def _run_cells_by_digest(
@@ -151,7 +193,7 @@ def _run_cells_by_digest(
     faults: FaultPlan | None = None,
     batch_index: int = 0,
     attempt: int = 0,
-) -> tuple[list[SweepPoint], dict | None]:
+) -> tuple[list[SweepPoint], dict | None, list[float]]:
     """Pool-worker entry point: resolve ``digest`` locally, then replay.
 
     Top-level so the process pool can pickle it.  This is the zero-copy
@@ -167,7 +209,7 @@ def _run_cells_by_digest(
     real per-worker overhead.
     """
     context, install_seconds = worker_context(digest)
-    points, snapshot = _run_cells(
+    points, snapshot, cell_ms = _run_cells(
         context, cells, observe, faults, batch_index, attempt
     )
     if snapshot is not None and install_seconds is not None:
@@ -176,7 +218,7 @@ def _run_cells_by_digest(
             "total_seconds": install_seconds,
             "count": 1,
         }
-    return points, snapshot
+    return points, snapshot, cell_ms
 
 
 def _retryable(error: BaseException) -> bool:
@@ -189,6 +231,14 @@ def _retryable(error: BaseException) -> bool:
     if isinstance(error, (WorkerCrashError, BatchTimeoutError)):
         return True
     return not isinstance(error, ReproError)
+
+
+def _bucket_counter(ms: float) -> str:
+    """The manifest histogram bucket a cell cost falls into."""
+    for bound in CELL_MS_BUCKETS:
+        if ms <= bound:
+            return f"cell_ms_le_{int(bound)}"
+    return "cell_ms_le_inf"
 
 
 class _BatchRun:
@@ -213,9 +263,18 @@ class _SweepRunner:
 
     Owns the streaming scheduler: batches flow through the pool (or the
     in-process serial loop), every completed batch is validated, merged
-    into the run's observability registry, written to the cache, and
-    placed at its canonical index — immediately, not after the pool
-    joins.
+    into the run's observability registry, written to the cache, timed
+    into the cost ledger, and placed at its canonical index —
+    immediately, not after the pool joins.
+
+    ``mode`` selects the execution substrate: ``"serial"`` (in-process
+    loop), ``"thread"`` (ThreadPoolExecutor over parent contexts),
+    ``"process"`` (ProcessPoolExecutor over the shared-memory data
+    plane), or ``"remote"`` (a :class:`~repro.experiments.engine.
+    remote.RemoteWorkerPool`).  Pooled modes pull work from a
+    :class:`~repro.experiments.engine.scheduler.StealingScheduler`
+    instead of a FIFO: each pool slot runs its own LPT deque and steals
+    when idle.
     """
 
     def __init__(
@@ -233,6 +292,11 @@ class _SweepRunner:
         flag: InterruptFlag,
         digests: dict[str, str] | None = None,
         dataplane: TraceDataPlane | None = None,
+        mode: str = "process",
+        ledger: CostLedger | None = None,
+        flows: dict[str, int] | None = None,
+        remote=None,
+        plan_log: list | None = None,
     ):
         self.traces = traces
         self.runs = [_BatchRun(batch, order) for order, batch in enumerate(batches)]
@@ -247,8 +311,15 @@ class _SweepRunner:
         self.flag = flag
         self.digests = digests or {}
         self.dataplane = dataplane
-        #: Benchmark → memoized in-process replay context; serial
-        #: execution (including fallback-from-pool) computes each
+        self.mode = mode
+        self.ledger = ledger
+        self.flows = flows or {}
+        self.remote = remote
+        self.plan_log = plan_log
+        #: Set by run_sweep for pooled modes; slot-addressed LPT deques.
+        self.scheduler: StealingScheduler | None = None
+        #: Benchmark → memoized in-process replay context; serial and
+        #: thread execution (including fallback-from-pool) compute each
         #: trace's hot set and occurrence index once, not per batch.
         self.contexts: dict[str, ReplayContext] = {}
         #: Futures abandoned by a timeout whose worker is still burning
@@ -256,13 +327,14 @@ class _SweepRunner:
         self.zombies: set[Future] = set()
 
     # -- completion ----------------------------------------------------
-    def _validate(self, run: _BatchRun, payload) -> tuple[list, dict | None]:
+    def _validate(self, run: _BatchRun, payload) -> tuple[list, dict | None, list]:
         """Check a batch result's shape against its plan."""
         try:
-            points, snapshot = payload
+            points, snapshot, cell_ms = payload
         except (TypeError, ValueError) as error:
             raise WorkerCrashError(
-                "corrupt batch result: not a (points, snapshot) pair",
+                "corrupt batch result: not a (points, snapshot, "
+                "cell_ms) triple",
                 benchmark=run.benchmark,
                 batch_index=run.order,
                 attempts=run.attempt + 1,
@@ -284,15 +356,41 @@ class _SweepRunner:
                     batch_index=run.order,
                     attempts=run.attempt + 1,
                 )
-        return points, snapshot
+        return points, snapshot, cell_ms
+
+    def _record_costs(self, run: _BatchRun, cell_ms: list) -> None:
+        """Fold a completed batch's timings into manifest + ledger."""
+        for task, ms in zip(run.batch, cell_ms):
+            try:
+                ms = float(ms)
+            except (TypeError, ValueError):
+                continue
+            seconds = ms / 1000.0
+            if self.observe:
+                self.engine.timer("cell_ms").observe(seconds)
+                self.engine.counter(_bucket_counter(ms)).inc()
+                self.engine.timer(
+                    CELL_TIMER_PREFIX
+                    + cell_name(task.benchmark, task.scheme, task.delay)
+                ).observe(seconds)
+            if self.ledger is not None:
+                self.ledger.record(
+                    self.keys.get(task.index),
+                    benchmark=task.benchmark,
+                    scheme=task.scheme,
+                    delay=task.delay,
+                    flow=self.flows.get(task.benchmark, 0),
+                    ms=ms,
+                )
 
     def _complete(self, run: _BatchRun, payload) -> None:
         """Validate, merge metrics, place results and flush the cache."""
-        points, snapshot = self._validate(run, payload)
+        points, snapshot, cell_ms = self._validate(run, payload)
         if snapshot is not None:
             # Worker measurements use batch-relative names; merging
             # through the child view re-prefixes them.
             self.engine.merge(snapshot)
+        self._record_costs(run, cell_ms)
         for task, point in zip(run.batch, points):
             self.results[task.index] = point
             if self.cache is not None:
@@ -382,34 +480,57 @@ class _SweepRunner:
                     time.sleep(max(run.not_before - time.monotonic(), 0.0))
 
     # -- pooled execution ----------------------------------------------
-    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
-        """A pool whose every worker gets the archive handles installed.
+    def _make_pool(self, workers: int):
+        """The execution substrate for this runner's mode.
 
-        Used for the initial pool and for every respawn after a pool
-        death: the initializer re-runs in each fresh worker process, so
-        a respawned pool is as trace-resident as the first one.
+        Process pools get the archive handles installed in every worker
+        (re-run on each respawn after a pool death, so a respawned pool
+        is as trace-resident as the first one); thread pools share the
+        parent's memoized contexts; remote mode has no local pool at
+        all — lanes live in the :class:`RemoteWorkerPool`.
         """
+        if self.mode == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=install_worker_handles,
             initargs=(self.dataplane.handles(),),
         )
 
-    def _submit(
-        self, pool: ProcessPoolExecutor, run: _BatchRun
-    ) -> Future:
-        # The batch carries a digest, not a trace: the worker's resident
-        # store supplies the data (see _run_cells_by_digest).
+    def _submit(self, pool, run: _BatchRun, slot: int) -> Future:
         cells = [task.cell for task in run.batch]
-        future = pool.submit(
-            _run_cells_by_digest,
-            self.digests[run.benchmark],
-            cells,
-            self.observe,
-            self.faults,
-            run.order,
-            run.attempt,
-        )
+        if self.mode == "remote":
+            future = self.remote.submit(
+                slot,
+                self.digests[run.benchmark],
+                cells,
+                self.observe,
+                self.faults,
+                run.order,
+                run.attempt,
+            )
+        elif self.mode == "thread":
+            future = pool.submit(
+                _run_cells,
+                self._context(run.benchmark),
+                cells,
+                self.observe,
+                self.faults,
+                run.order,
+                run.attempt,
+            )
+        else:
+            # The batch carries a digest, not a trace: the worker's
+            # resident store supplies the data (_run_cells_by_digest).
+            future = pool.submit(
+                _run_cells_by_digest,
+                self.digests[run.benchmark],
+                cells,
+                self.observe,
+                self.faults,
+                run.order,
+                run.attempt,
+            )
         if self.policy.task_timeout is not None:
             run.deadline = time.monotonic() + self.policy.task_timeout
         else:
@@ -430,22 +551,36 @@ class _SweepRunner:
         self.engine.gauge("zombie_slots").set(0)
 
     def _tick(
-        self, inflight: dict[Future, _BatchRun], waiting: list[_BatchRun]
+        self,
+        inflight: dict[Future, tuple[_BatchRun, int]],
+        waiting: list[_BatchRun],
     ) -> float:
         """How long the next ``wait`` may block."""
         now = time.monotonic()
         horizon = now + _MAX_TICK_SECONDS
-        for run in inflight.values():
+        for run, _slot in inflight.values():
             horizon = min(horizon, run.deadline)
         for run in waiting:
             horizon = min(horizon, run.not_before)
         return max(horizon - now, 0.01)
 
+    def _remaining(
+        self,
+        inflight: dict[Future, tuple[_BatchRun, int]],
+        waiting: list[_BatchRun],
+    ) -> list[_BatchRun]:
+        """Drain every unfinished batch for a serial takeover."""
+        remaining = list(self.scheduler.drain()) if self.scheduler else []
+        remaining.extend(waiting)
+        remaining.extend(run for run, _slot in inflight.values())
+        inflight.clear()
+        return remaining
+
     def _handle_pool_break(
         self,
         victims: list[tuple[_BatchRun, BaseException]],
-        inflight: dict[Future, _BatchRun],
-        ready: deque,
+        inflight: dict[Future, tuple[_BatchRun, int]],
+        free_slots: set[int],
         waiting: list[_BatchRun],
         restarts: int,
     ) -> int:
@@ -455,23 +590,51 @@ class _SweepRunner:
         for run, error in victims:
             self._retry_or_raise(run, error, waiting)
         # The orphans did nothing wrong: requeue at the same attempt.
-        orphans = sorted(inflight.values(), key=lambda r: r.order)
+        orphans = sorted(
+            (run for run, _slot in inflight.values()),
+            key=lambda r: r.order,
+        )
+        for _run, slot in inflight.values():
+            free_slots.add(slot)
         inflight.clear()
-        ready.extendleft(reversed(orphans))
+        for run in reversed(orphans):
+            self.scheduler.requeue(run)
         # The zombies died with the pool; the respawn starts with every
         # slot free.
         self._clear_zombies()
         return restarts
 
+    def _fallback_serial(
+        self,
+        inflight: dict[Future, tuple[_BatchRun, int]],
+        waiting: list[_BatchRun],
+        cause: BaseException | None,
+        why: str,
+    ) -> None:
+        if not self.policy.fallback_serial:
+            raise WorkerCrashError(
+                f"{why} and serial fallback is disabled"
+            ) from cause
+        self.engine.counter("fallback_serial").inc()
+        self._run_serial(self._remaining(inflight, waiting))
+
     def _run_pooled(self, workers: int) -> None:
         policy = self.policy
-        ready: deque[_BatchRun] = deque(self.runs)
+        scheduler = self.scheduler
+        if scheduler is None:
+            scheduler = StealingScheduler(
+                self.runs,
+                [len(run.batch) * DEFAULT_CELL_MS for run in self.runs],
+                workers,
+            )
+            self.scheduler = scheduler
         waiting: list[_BatchRun] = []
-        inflight: dict[Future, _BatchRun] = {}
+        inflight: dict[Future, tuple[_BatchRun, int]] = {}
+        free_slots = set(range(workers))
         restarts = 0
-        pool = self._make_pool(workers)
+        pool = self._make_pool(workers) if self.mode != "remote" else None
         try:
-            while ready or waiting or inflight:
+            while len(scheduler) or waiting or inflight:
                 self._check_interrupt()
                 self._reap_zombies()
                 now = time.monotonic()
@@ -480,31 +643,52 @@ class _SweepRunner:
                     waiting = [
                         run for run in waiting if run.not_before > now
                     ]
-                    ready.extend(sorted(due, key=lambda r: r.order))
+                    for run in sorted(
+                        due, key=lambda r: r.order, reverse=True
+                    ):
+                        scheduler.requeue(run)
                 # Zombie workers still occupy pool slots: shrink the
                 # submit budget so live batches are not queued behind
                 # them (but never to zero — the pool's own queue keeps
                 # the sweep moving even fully zombified).
                 budget = max(1, workers - len(self.zombies))
                 broken: BrokenExecutor | None = None
-                while ready and len(inflight) < budget and broken is None:
-                    run = ready.popleft()
+                lost_remote: WorkerCrashError | None = None
+                while (
+                    free_slots
+                    and len(inflight) < budget
+                    and broken is None
+                    and lost_remote is None
+                ):
+                    slot = min(free_slots)
+                    run = scheduler.take(slot)
+                    if run is None:
+                        break
                     try:
-                        inflight[self._submit(pool, run)] = run
+                        inflight[self._submit(pool, run, slot)] = (
+                            run,
+                            slot,
+                        )
+                        free_slots.discard(slot)
                     except BrokenExecutor as error:
                         # The pool died between completions; the batch
                         # we tried to place is an orphan, not a victim.
-                        ready.appendleft(run)
+                        scheduler.requeue(run)
                         broken = error
+                    except WorkerCrashError as error:
+                        # Remote mode with no lane left to submit to.
+                        scheduler.requeue(run)
+                        lost_remote = error
                 victims: list[tuple[_BatchRun, BaseException]] = []
-                if broken is None and inflight:
+                if broken is None and lost_remote is None and inflight:
                     done, _ = wait(
                         set(inflight),
                         timeout=self._tick(inflight, waiting),
                         return_when=FIRST_COMPLETED,
                     )
                     for future in done:
-                        run = inflight.pop(future)
+                        run, slot = inflight.pop(future)
+                        free_slots.add(slot)
                         try:
                             payload = future.result()
                         except BrokenProcessPool as error:
@@ -520,7 +704,7 @@ class _SweepRunner:
                         except WorkerCrashError as error:
                             self._retry_or_raise(run, error, waiting)
                     now = time.monotonic()
-                    for future, run in list(inflight.items()):
+                    for future, (run, slot) in list(inflight.items()):
                         if run.deadline <= now:
                             # Abandon the future; a late result from it
                             # is never read.  Until the stale attempt
@@ -528,6 +712,7 @@ class _SweepRunner:
                             # pool slot — tracked so the submit budget
                             # shrinks accordingly.
                             del inflight[future]
+                            free_slots.add(slot)
                             self.zombies.add(future)
                             self.engine.counter("zombies").inc()
                             self.engine.gauge("zombie_slots").set(
@@ -537,38 +722,57 @@ class _SweepRunner:
                             self._retry_or_raise(
                                 run, None, waiting, timed_out=True
                             )
-                elif broken is None and waiting:
+                elif (
+                    broken is None
+                    and lost_remote is None
+                    and waiting
+                ):
                     pause = min(run.not_before for run in waiting) - now
                     time.sleep(min(max(pause, 0.0), _MAX_TICK_SECONDS))
+                if lost_remote is not None:
+                    if self.remote is not None and self.remote.alive_count:
+                        # A lane died mid-submit but others survive:
+                        # the batch is already requeued, carry on.
+                        continue
+                    self._fallback_serial(
+                        inflight,
+                        waiting,
+                        lost_remote,
+                        "all remote sweep workers are lost",
+                    )
+                    return
                 if victims or broken is not None:
                     if broken is not None:
                         victims = []
                     restarts = self._handle_pool_break(
-                        victims, inflight, ready, waiting, restarts
+                        victims, inflight, free_slots, waiting, restarts
                     )
                     pool.shutdown(wait=False, cancel_futures=True)
                     if restarts > policy.max_pool_restarts:
-                        if not policy.fallback_serial:
-                            raise WorkerCrashError(
-                                f"process pool died {restarts} times and "
-                                "serial fallback is disabled"
-                            )
-                        self.engine.counter("fallback_serial").inc()
-                        remaining = list(ready) + waiting
-                        ready.clear()
-                        waiting = []
-                        self._run_serial(remaining)
+                        self._fallback_serial(
+                            inflight,
+                            waiting,
+                            None,
+                            f"process pool died {restarts} times",
+                        )
                         return
                     pool = self._make_pool(workers)
+                    free_slots = set(range(workers))
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
             self._clear_zombies()
 
     def run(self, workers: int) -> None:
-        if workers > 0:
+        if workers > 0 and self.mode != "serial":
             self._run_pooled(workers)
         else:
             self._run_serial(self.runs)
+
+
+def _plan_note(plan_log: list | None, entry: dict) -> None:
+    if plan_log is not None:
+        plan_log.append(entry)
 
 
 def run_sweep(
@@ -581,6 +785,11 @@ def run_sweep(
     obs: Registry | None = None,
     resilience: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    backend: str | None = None,
+    ledger: CostLedger | None = None,
+    remote=None,
+    steal_schedule=None,
+    plan_log: list | None = None,
 ) -> list[SweepPoint]:
     """Measure every (benchmark, scheme, τ) cell of a sweep.
 
@@ -590,7 +799,9 @@ def run_sweep(
         Benchmark name → trace; the iteration order fixes the output
         order (as in the historical serial sweep).
     workers:
-        Process-pool size; ``0`` (the default) runs serially in-process.
+        Pool-size hint; ``0`` runs serially (legacy behavior) unless
+        ``backend`` says otherwise.  For ``backend="adaptive"`` it caps
+        the pool the cost model may choose (``0`` → the CPU count).
     cache:
         Optional :class:`SweepCache`.  Cached cells are served without
         replay; computed cells are stored back *as each batch completes*,
@@ -598,8 +809,8 @@ def run_sweep(
         Hit/miss accounting accumulates on ``cache.stats``.
     chunk_size:
         Cells per scheduled unit of parallel work.  ``None`` (the
-        default) autotunes per benchmark from the pending cell count
-        and the worker count (see
+        default) autotunes per benchmark from the **pending** (dirty)
+        cell count and the slot count (see
         :func:`~repro.experiments.engine.planner.autotune_chunk_size`);
         an explicit positive value pins the granularity.  Never affects
         results, only scheduling.
@@ -613,7 +824,34 @@ def run_sweep(
         timeout, pool respawn with serial fallback).
     faults:
         Optional :class:`~repro.resilience.FaultPlan` for deterministic
-        fault injection (tests and drills only).
+        fault injection (tests and drills only).  The ``lost_worker``
+        kind fires in the remote backend's dispatch path; every other
+        kind fires inside :func:`_run_cells` wherever it runs.
+    backend:
+        ``None`` keeps the legacy rule (process pool iff ``workers >
+        0``); ``"serial"`` / ``"thread"`` / ``"process"`` force a
+        substrate; ``"remote"`` dispatches to ``repro worker``
+        processes (``remote`` must name them); ``"adaptive"`` lets the
+        cost model pick serial/thread/process from predicted costs and
+        the dispatch-overhead model.
+    ledger:
+        Optional :class:`~repro.experiments.engine.scheduler.
+        CostLedger`.  Completed cells are recorded into it (and it is
+        saved best-effort at the end of the sweep); predictions prefer
+        its measured entries.
+    remote:
+        Worker addresses (``["host:port", ...]``) or a ready
+        :class:`~repro.experiments.engine.remote.RemoteWorkerPool`;
+        required for ``backend="remote"``.
+    steal_schedule:
+        Test hook: a sequence of integers overriding the deterministic
+        steal-victim rule, so property tests can force any
+        interleaving.
+    plan_log:
+        Optional list the executor appends its scheduling decisions to
+        (per-cell predictions, chunking, the backend decision, LPT
+        assignment, steal events) — the machine-readable ``--explain``
+        feed.
 
     Raises
     ------
@@ -625,6 +863,14 @@ def run_sweep(
     """
     if workers < 0:
         raise ExperimentError(f"workers must be >= 0, got {workers}")
+    if backend is not None and backend not in BACKENDS:
+        raise ExperimentError(
+            f"unknown backend {backend!r}; known: " + ", ".join(BACKENDS)
+        )
+    if backend == "remote" and remote is None:
+        raise ExperimentError(
+            "backend='remote' needs remote= worker addresses or a pool"
+        )
     policy = resilience if resilience is not None else DEFAULT_POLICY
     engine = get_registry(obs).child("sweep")
     observe = engine.enabled
@@ -641,16 +887,22 @@ def run_sweep(
         engine.counter("pool_restarts")
         engine.counter("fallback_serial")
         engine.counter("zombies")
+        engine.counter("steals")
         engine.gauge("zombie_slots").set(0)
-        engine.gauge("workers").set(workers)
         results: list[SweepPoint | None] = [None] * len(tasks)
 
-        # Digests address both the result cache and the data plane's
-        # shared-memory residency, so they are needed whenever either is
-        # in play.  trace_digest memoizes per trace object, so the cost
-        # is paid once even when both consumers ask.
+        # Digests address the result cache, the data plane's shared
+        # memory residency, remote trace publication and the cost
+        # ledger's exact index — needed whenever any of them is in
+        # play.  trace_digest memoizes per trace object, so the cost is
+        # paid once no matter how many consumers ask.
         digests: dict[str, str] = {}
-        if cache is not None or workers > 0:
+        if (
+            cache is not None
+            or workers > 0
+            or ledger is not None
+            or backend not in (None, "serial")
+        ):
             with engine.span("digest"):
                 digests = {
                     name: trace_digest(trace)
@@ -673,32 +925,181 @@ def run_sweep(
             engine.counter("cells_cached").inc(len(tasks) - len(pending))
         else:
             pending = list(tasks)
+            if digests and ledger is not None:
+                # No result cache, but the ledger still wants its
+                # digest-exact index.
+                for task in tasks:
+                    keys[task.index] = cache_key(
+                        digests[task.benchmark], task.scheme, task.delay
+                    )
+
+        flows = {name: trace.flow for name, trace in traces.items()}
+
+        mode: str
+        slots = 0
+        decision: BackendDecision | None = None
+        if backend is None:
+            mode = "process" if workers > 0 else "serial"
+        elif backend == "adaptive":
+            mode = "serial"  # provisional; decided below on the plan
+        else:
+            mode = backend
+
+        cpu = os.cpu_count() or 1
+        hint = workers if workers > 0 else cpu
+
+        # Cost predictions: wanted by the adaptive decision, by the LPT
+        # scheduler of every pooled mode, and by --explain.  The pure
+        # legacy serial path (no ledger, no plan log) skips them.
+        model: CostModel | None = None
+        predictions: dict[int, tuple[float, str]] = {}
+        if (
+            backend == "adaptive"
+            or mode != "serial"
+            or plan_log is not None
+            or ledger is not None
+        ):
+            model = CostModel(ledger)
+        if model is not None and pending:
+            with engine.span("predict"):
+                for task in pending:
+                    predicted = model.predict(
+                        benchmark=task.benchmark,
+                        scheme=task.scheme,
+                        delay=task.delay,
+                        flow=flows[task.benchmark],
+                        key=keys.get(task.index),
+                    )
+                    predictions[task.index] = predicted
+                    _plan_note(
+                        plan_log,
+                        {
+                            "event": "predict",
+                            "cell": cell_name(
+                                task.benchmark, task.scheme, task.delay
+                            ),
+                            "ms": round(predicted.ms, 3),
+                            "source": predicted.source,
+                        },
+                    )
+
+        def batch_cost(batch: list[SweepTask]) -> float:
+            if not predictions:
+                return len(batch) * DEFAULT_CELL_MS
+            return sum(
+                predictions[task.index].ms
+                for task in batch
+                if task.index in predictions
+            )
+
+        def chunk_groups(groups, slot_count: int) -> list[list[SweepTask]]:
+            batches: list[list[SweepTask]] = []
+            sizes = []
+            for name, group in groups.items():
+                # Sized on the *pending* cells of this benchmark only —
+                # cache hits never inflate the chunk size.
+                size = (
+                    chunk_size
+                    if chunk_size is not None
+                    else autotune_chunk_size(len(group), slot_count)
+                )
+                sizes.append(size)
+                _plan_note(
+                    plan_log,
+                    {
+                        "event": "chunk",
+                        "benchmark": name,
+                        "pending_cells": len(group),
+                        "chunk_size": size,
+                    },
+                )
+                batches.extend(chunk_tasks(group, size))
+            if sizes:
+                engine.gauge("chunk_size").set(max(sizes))
+            return batches
 
         if pending:
+            groups = group_by_benchmark(pending)
+
+            if backend == "adaptive":
+                dispatch = DispatchModel.from_ledger(ledger)
+                tentative = chunk_groups(groups, hint)
+                decision = choose_backend(
+                    [batch_cost(batch) for batch in tentative],
+                    workers_hint=workers,
+                    dispatch=dispatch,
+                )
+                mode = decision.backend
+                slots = decision.workers
+                _plan_note(
+                    plan_log,
+                    {
+                        "event": "decision",
+                        "backend": mode,
+                        "workers": slots,
+                        "predicted_ms": {
+                            name: round(ms, 3)
+                            for name, ms in decision.predicted_ms.items()
+                        },
+                        "calibrated": dispatch.calibrated,
+                        "reason": decision.reason,
+                    },
+                )
+                engine.gauge("predicted_ms").set(
+                    decision.predicted_ms[mode]
+                )
+            elif mode == "remote":
+                slots = 0  # resolved once the pool is connected
+            elif mode in ("thread", "process"):
+                slots = hint
+
+            engine.counter(f"backend_{mode}").inc()
+
             # One batch per benchmark when serial (one replay context
             # per trace, like the historical loop); chunked batches when
-            # parallel so a single benchmark's cells can spread across
-            # workers.  With the data plane a batch ships only a digest,
+            # pooled so a single benchmark's cells can spread across
+            # slots.  With the data plane a batch ships only a digest,
             # so the chunk size is a pure scheduling knob — autotuned
-            # per benchmark unless pinned explicitly.
-            groups = group_by_benchmark(pending)
-            batches: list[list[SweepTask]] = []
-            if workers > 0:
-                for group in groups.values():
-                    size = (
-                        chunk_size
-                        if chunk_size is not None
-                        else autotune_chunk_size(len(group), workers)
-                    )
-                    engine.gauge("chunk_size").set(size)
-                    batches.extend(chunk_tasks(group, size))
-            else:
-                batches = list(groups.values())
-            engine.counter("batches").inc(len(batches))
-
+            # per benchmark from the pending cells unless pinned.
             dataplane: TraceDataPlane | None = None
+            remote_pool = None
+            own_remote = False
             try:
-                if workers > 0:
+                if mode == "remote":
+                    from repro.experiments.engine.remote import (
+                        RemoteWorkerPool,
+                    )
+
+                    if isinstance(remote, RemoteWorkerPool):
+                        remote_pool = remote
+                    else:
+                        remote_pool = RemoteWorkerPool(
+                            remote,
+                            timeout=policy.task_timeout,
+                            obs=engine.child("remote"),
+                            faults=faults,
+                        )
+                        own_remote = True
+                    slots = remote_pool.slots
+                    with engine.span("publish"):
+                        for name in groups:
+                            remote_pool.register_trace(
+                                digests[name],
+                                TraceArchive.from_trace(
+                                    traces[name]
+                                ).to_bytes(),
+                            )
+
+                if mode == "serial" or slots < 1:
+                    mode = "serial"
+                    slots = 0
+                    batches = list(groups.values())
+                else:
+                    batches = chunk_groups(groups, slots)
+                engine.counter("batches").inc(len(batches))
+                engine.gauge("workers").set(slots)
+
+                if mode == "process":
                     # Publish each pending benchmark's trace exactly
                     # once; every batch then references it by digest.
                     dataplane = TraceDataPlane(
@@ -722,9 +1123,39 @@ def run_sweep(
                         flag=flag,
                         digests=digests,
                         dataplane=dataplane,
+                        mode=mode,
+                        ledger=ledger,
+                        flows=flows,
+                        remote=remote_pool,
+                        plan_log=plan_log,
                     )
+                    if mode != "serial":
+                        runner.scheduler = StealingScheduler(
+                            runner.runs,
+                            [
+                                batch_cost(run.batch)
+                                for run in runner.runs
+                            ],
+                            slots,
+                            steal_schedule=steal_schedule,
+                            events=plan_log
+                            if plan_log is not None
+                            else None,
+                        )
+                        _plan_note(
+                            plan_log,
+                            {
+                                "event": "assign",
+                                "slots": [
+                                    [run.order for run in queue]
+                                    for queue in (
+                                        runner.scheduler.assignment()
+                                    )
+                                ],
+                            },
+                        )
                     try:
-                        runner.run(workers)
+                        runner.run(slots)
                     except KeyboardInterrupt:
                         # Signal arrived where the guard could not trap
                         # it (non-main thread, or the operator's second
@@ -739,11 +1170,25 @@ def run_sweep(
                             total=len(tasks),
                             signal_name=flag.signal_name,
                         ) from None
+                    finally:
+                        if runner.scheduler is not None:
+                            engine.counter("steals").inc(
+                                runner.scheduler.steals
+                            )
             finally:
-                # Releases every shared-memory segment on *every* exit:
-                # normal completion, retry exhaustion, serial fallback,
-                # pool death, SweepInterrupted and raw KeyboardInterrupt.
+                # Releases every shared-memory segment and remote
+                # connection on *every* exit: normal completion, retry
+                # exhaustion, serial fallback, pool death,
+                # SweepInterrupted and raw KeyboardInterrupt.
                 if dataplane is not None:
                     dataplane.close()
+                if own_remote and remote_pool is not None:
+                    remote_pool.close()
+                if ledger is not None:
+                    ledger.save()
+        else:
+            engine.gauge("workers").set(0)
+            if ledger is not None:
+                ledger.save()
 
     return [point for point in results if point is not None]

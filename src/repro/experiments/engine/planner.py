@@ -122,6 +122,14 @@ AUTOTUNE_WAVES_PER_WORKER = 2
 def autotune_chunk_size(num_cells: int, workers: int) -> int:
     """Pick a chunk size for one benchmark's pending cells.
 
+    ``num_cells`` must be the count of *dirty* cells — the cells the
+    executor will actually replay after cache hits are served — never
+    the full plan size.  A warm run with 90% cache hits must get
+    chunks sized on the 10% that remains, or each benchmark collapses
+    into one oversized batch and the pool idles (the executor sizes on
+    its post-cache ``pending`` set; a regression test locks this
+    down).
+
     Targets :data:`AUTOTUNE_WAVES_PER_WORKER` batches per worker per
     benchmark: enough slack for the scheduler to rebalance uneven batch
     runtimes, without fragmenting the sweep into per-cell dispatch

@@ -1,0 +1,546 @@
+"""Remote sweep workers: the ``(digest, cells)`` contract over TCP.
+
+The zero-copy data plane already reduced a scheduled batch to a trace
+digest plus a list of (scheme, τ) cells — nothing about that contract
+requires the worker to share memory with the parent.  This module runs
+it over the serving transport's framed TCP instead:
+
+``repro worker`` (:class:`SweepWorkerServer`)
+    A long-lived process that registers traces by digest (published
+    once as :class:`~repro.experiments.engine.dataplane.TraceArchive`
+    bytes), replays batches through the exact same
+    :func:`~repro.experiments.engine.executor._run_cells` code path the
+    local modes use, and returns points + metrics snapshot + per-cell
+    timings as JSON.  One thread per connection; contexts are memoized
+    per digest like a pool worker's resident store.
+
+:class:`RemoteWorkerPool`
+    The parent-side counterpart: one socket plus a single-thread
+    dispatch lane per worker, so the executor's slot-addressed
+    scheduler maps directly onto workers.  Traces are published to a
+    worker lazily before its first batch of each digest.  Any transport
+    failure (connection loss, timeout, malformed reply) marks the
+    worker dead and surfaces as a
+    :class:`~repro.errors.WorkerCrashError` — which the PR 3 retry
+    machinery already knows how to requeue, now onto the surviving
+    workers; with every worker lost the executor degrades to serial
+    exactly like an exhausted process pool.  The deterministic
+    ``lost_worker`` fault kind severs a connection on cue so the whole
+    recovery matrix is testable without real worker murder.
+
+Protocol (framed like :mod:`repro.serving.transport`: u32 length
+prefix, then the body)::
+
+    u8  opcode   (1=hello, 2=ping, 3=put, 4=run, 5=shutdown)
+    ... operand  — put: u16 digest length + digest + archive bytes;
+                   run: UTF-8 JSON {digest, cells, observe,
+                   batch_index, attempt, faults}; others: empty
+
+Replies are one JSON frame with a ``status`` field: ``"ok"`` with the
+operation's results, ``"missing_trace"`` when a run names a digest the
+worker does not hold (the pool publishes and retries inline), and
+``"crash"`` for any in-worker failure.  Points round-trip through the
+sweep cache's JSON codec, which the equivalence suite already proves
+lossless — a remote sweep is byte-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import struct
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.errors import ExperimentError, WorkerCrashError
+from repro.experiments.engine.cache import (
+    CODE_VERSION,
+    _point_from_payload,
+    _point_to_payload,
+)
+from repro.experiments.engine.dataplane import ReplayContext, TraceArchive
+from repro.obs.core import Registry, get_registry
+from repro.resilience import FaultPlan, FaultSpec
+from repro.serving.transport import (
+    MAX_FRAME_BYTES,
+    read_frame,
+    write_frame,
+)
+
+OP_HELLO = 1
+OP_PING = 2
+OP_PUT = 3
+OP_RUN = 4
+OP_SHUTDOWN = 5
+
+PROTOCOL_VERSION = 1
+
+_OP = struct.Struct("<B")
+_DIGEST_LEN = struct.Struct("<H")
+
+#: Trace archives are bigger than serving batches; allow up to 256 MiB
+#: for a PUT frame before refusing the length prefix.
+WORKER_MAX_FRAME_BYTES = max(MAX_FRAME_BYTES, 256 << 20)
+
+
+def encode_command(op: int, operand: bytes = b"") -> bytes:
+    """One request body (the frame length prefix is added on write)."""
+    return _OP.pack(op) + operand
+
+
+def encode_put(digest: str, blob: bytes) -> bytes:
+    raw = digest.encode("utf-8")
+    return encode_command(
+        OP_PUT, _DIGEST_LEN.pack(len(raw)) + raw + blob
+    )
+
+
+def decode_put(operand: bytes) -> tuple[str, bytes]:
+    if len(operand) < _DIGEST_LEN.size:
+        raise ExperimentError("put operand shorter than its header")
+    (length,) = _DIGEST_LEN.unpack_from(operand, 0)
+    end = _DIGEST_LEN.size + length
+    if len(operand) < end:
+        raise ExperimentError("put operand truncated inside the digest")
+    digest = operand[_DIGEST_LEN.size : end].decode("utf-8")
+    return digest, operand[end:]
+
+
+def _faults_to_payload(faults: FaultPlan | None) -> list | None:
+    if faults is None or not faults.specs:
+        return None
+    return [
+        {
+            "kind": spec.kind,
+            "batch": spec.batch,
+            "times": spec.times,
+            "seconds": spec.seconds,
+        }
+        for spec in faults.specs
+    ]
+
+
+def _faults_from_payload(payload) -> FaultPlan | None:
+    if not payload:
+        return None
+    return FaultPlan(
+        specs=tuple(
+            FaultSpec(
+                kind=entry["kind"],
+                batch=entry["batch"],
+                times=entry["times"],
+                seconds=entry["seconds"],
+            )
+            for entry in payload
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class SweepWorkerServer(socketserver.ThreadingTCPServer):
+    """One `repro worker`: resident traces + the shared replay path."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_frame_bytes: int = WORKER_MAX_FRAME_BYTES,
+    ):
+        super().__init__(address, _WorkerConnection)
+        self.max_frame_bytes = max_frame_bytes
+        self.worker_id = f"{socket.gethostname()}:{os.getpid()}"
+        self.contexts: dict[str, ReplayContext] = {}
+        self.state_lock = threading.Lock()
+        self.batches_run = 0
+        self.cells_run = 0
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def install(self, digest: str, blob: bytes) -> bool:
+        """Restore and memoize one published trace; True if new."""
+        with self.state_lock:
+            if digest in self.contexts:
+                return False
+            trace = TraceArchive.from_buffer(memoryview(blob)).restore()
+            self.contexts[digest] = ReplayContext(trace)
+            return True
+
+    def context(self, digest: str) -> ReplayContext | None:
+        with self.state_lock:
+            return self.contexts.get(digest)
+
+
+class _WorkerConnection(socketserver.StreamRequestHandler):
+    """One client connection: read frames, dispatch, reply JSON."""
+
+    server: SweepWorkerServer
+
+    def handle(self) -> None:
+        while True:
+            try:
+                body = read_frame(
+                    self.rfile, self.server.max_frame_bytes
+                )
+            except Exception:
+                return
+            if body is None or len(body) < _OP.size:
+                return
+            (op,) = _OP.unpack_from(body, 0)
+            operand = body[_OP.size:]
+            try:
+                reply = self._dispatch(op, operand)
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                reply = {
+                    "status": "crash",
+                    "error": f"{type(error).__name__}: {error}",
+                }
+            try:
+                write_frame(
+                    self.wfile, json.dumps(reply).encode("utf-8")
+                )
+            except OSError:
+                return
+            if op == OP_SHUTDOWN:
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+    def _dispatch(self, op: int, operand: bytes) -> dict:
+        server = self.server
+        if op == OP_HELLO:
+            return {
+                "status": "ok",
+                "worker_id": server.worker_id,
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+                "code_version": CODE_VERSION,
+            }
+        if op == OP_PING:
+            with server.state_lock:
+                resident = sorted(server.contexts)
+                batches = server.batches_run
+            return {
+                "status": "ok",
+                "worker_id": server.worker_id,
+                "resident": resident,
+                "batches_run": batches,
+            }
+        if op == OP_PUT:
+            digest, blob = decode_put(operand)
+            installed = server.install(digest, blob)
+            return {
+                "status": "ok",
+                "digest": digest,
+                "installed": installed,
+            }
+        if op == OP_RUN:
+            return self._run(json.loads(operand.decode("utf-8")))
+        if op == OP_SHUTDOWN:
+            return {"status": "ok", "worker_id": server.worker_id}
+        return {"status": "crash", "error": f"unknown opcode {op}"}
+
+    def _run(self, request: dict) -> dict:
+        # Imported here: executor imports this module's pool lazily, so
+        # a top-level cross-import would be cyclic during bootstrap.
+        from repro.experiments.engine.executor import _run_cells
+
+        server = self.server
+        digest = request["digest"]
+        context = server.context(digest)
+        if context is None:
+            return {"status": "missing_trace", "digest": digest}
+        cells = [
+            (str(scheme), int(delay))
+            for scheme, delay in request["cells"]
+        ]
+        points, snapshot, cell_ms = _run_cells(
+            context,
+            cells,
+            observe=bool(request.get("observe", False)),
+            faults=_faults_from_payload(request.get("faults")),
+            batch_index=int(request.get("batch_index", 0)),
+            attempt=int(request.get("attempt", 0)),
+        )
+        with server.state_lock:
+            server.batches_run += 1
+            server.cells_run += len(cells)
+        return {
+            "status": "ok",
+            "points": [_point_to_payload(point) for point in points],
+            "snapshot": snapshot,
+            "cell_ms": cell_ms,
+        }
+
+
+def start_worker(
+    host: str = "127.0.0.1", port: int = 0
+) -> tuple[SweepWorkerServer, threading.Thread]:
+    """Start a worker server on a background thread (tests, embedding)."""
+    server = SweepWorkerServer((host, port))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def parse_worker_address(text: str) -> tuple[str, int]:
+    """``host:port`` → address tuple, with a bare port meaning localhost."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator:
+        host, port_text = "127.0.0.1", text
+    try:
+        port = int(port_text)
+    except ValueError as error:
+        raise ExperimentError(
+            f"remote worker address {text!r} is not host:port"
+        ) from error
+    if not 0 < port < 65536:
+        raise ExperimentError(
+            f"remote worker port {port} outside 1..65535"
+        )
+    return (host or "127.0.0.1", port)
+
+
+class _WorkerLane:
+    """One connected worker: socket, stream, dispatch thread, residency."""
+
+    def __init__(self, address: tuple[str, int], timeout: float | None):
+        self.address = address
+        self.timeout = timeout
+        self.sock = socket.create_connection(address, timeout=10.0)
+        self.sock.settimeout(timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        self.lock = threading.Lock()
+        self.executor = ThreadPoolExecutor(max_workers=1)
+        self.published: set[str] = set()
+        self.alive = True
+        self.worker_id = ""
+
+    def call(self, body: bytes) -> dict:
+        """One request/reply round-trip; failure kills the lane."""
+        with self.lock:
+            if not self.alive:
+                raise WorkerCrashError(
+                    f"remote worker {self.address[0]}:{self.address[1]} "
+                    "is gone"
+                )
+            try:
+                write_frame(self.wfile, body)
+                reply = read_frame(self.rfile, WORKER_MAX_FRAME_BYTES)
+                if reply is None:
+                    raise OSError("worker closed the connection")
+                return json.loads(reply.decode("utf-8"))
+            except (OSError, ValueError) as error:
+                self.kill()
+                raise WorkerCrashError(
+                    f"remote worker {self.address[0]}:"
+                    f"{self.address[1]} lost: {error}"
+                ) from error
+
+    def kill(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def close(self) -> None:
+        self.kill()
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+class RemoteWorkerPool:
+    """Slot-addressed dispatch over a set of ``repro worker`` processes.
+
+    ``blobs`` maps digest → archive bytes and is consulted lazily: a
+    worker receives a trace the first time a batch referencing it lands
+    on that worker (and again after a ``missing_trace`` reply, which a
+    restarted worker would give).  ``faults`` drives the deterministic
+    ``lost_worker`` kind: when a planned loss fires for a batch, the
+    lane's connection is severed before dispatch and the batch fails
+    with the same :class:`WorkerCrashError` a real loss produces.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        timeout: float | None = None,
+        obs: Registry | None = None,
+        faults: FaultPlan | None = None,
+    ):
+        parsed = [
+            parse_worker_address(item) if isinstance(item, str) else item
+            for item in addresses
+        ]
+        if not parsed:
+            raise ExperimentError("remote backend needs >= 1 worker")
+        self._obs = get_registry(obs)
+        self.faults = faults
+        self.lanes: list[_WorkerLane] = []
+        try:
+            for address in parsed:
+                try:
+                    lane = _WorkerLane(address, timeout)
+                except OSError as error:
+                    raise ExperimentError(
+                        f"cannot reach sweep worker at "
+                        f"{address[0]}:{address[1]}: {error}"
+                    ) from error
+                hello = lane.call(encode_command(OP_HELLO))
+                if (
+                    hello.get("status") != "ok"
+                    or hello.get("protocol") != PROTOCOL_VERSION
+                ):
+                    lane.close()
+                    raise ExperimentError(
+                        f"sweep worker at {address[0]}:{address[1]} "
+                        f"spoke an unexpected protocol: {hello}"
+                    )
+                lane.worker_id = hello.get("worker_id", "")
+                self.lanes.append(lane)
+                self._obs.counter("workers_connected").inc()
+        except Exception:
+            self.close()
+            raise
+        self.blobs: dict[str, bytes] = {}
+
+    # -- capacity ------------------------------------------------------
+    @property
+    def slots(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for lane in self.lanes if lane.alive)
+
+    def _lane_for(self, slot: int) -> _WorkerLane:
+        alive = [lane for lane in self.lanes if lane.alive]
+        if not alive:
+            raise WorkerCrashError("all remote sweep workers are lost")
+        return alive[slot % len(alive)]
+
+    # -- dispatch ------------------------------------------------------
+    def submit(
+        self,
+        slot: int,
+        digest: str,
+        cells: list[tuple[str, int]],
+        observe: bool,
+        faults: FaultPlan | None,
+        batch_index: int,
+        attempt: int,
+    ) -> Future:
+        """Run one batch on the lane serving ``slot``.
+
+        Returns a future resolving to the executor's ``(points,
+        snapshot, cell_ms)`` payload, or raising
+        :class:`WorkerCrashError` for any transport-level loss.
+        """
+        lane = self._lane_for(slot)
+        return lane.executor.submit(
+            self._execute,
+            lane,
+            digest,
+            cells,
+            observe,
+            faults,
+            batch_index,
+            attempt,
+        )
+
+    def _execute(
+        self,
+        lane: _WorkerLane,
+        digest: str,
+        cells: list[tuple[str, int]],
+        observe: bool,
+        faults: FaultPlan | None,
+        batch_index: int,
+        attempt: int,
+    ):
+        if self.faults is not None and self.faults.fires_kind(
+            "lost_worker", batch_index, attempt
+        ):
+            lane.kill()
+            self._obs.counter("workers_lost").inc()
+            raise WorkerCrashError(
+                f"injected worker loss: batch {batch_index}, "
+                f"attempt {attempt} (worker {lane.worker_id})"
+            )
+        self._publish(lane, digest)
+        request = json.dumps(
+            {
+                "digest": digest,
+                "cells": [list(cell) for cell in cells],
+                "observe": observe,
+                "batch_index": batch_index,
+                "attempt": attempt,
+                "faults": _faults_to_payload(faults),
+            }
+        ).encode("utf-8")
+        reply = lane.call(encode_command(OP_RUN, request))
+        if reply.get("status") == "missing_trace":
+            # A restarted worker lost its residency; republish once.
+            lane.published.discard(digest)
+            self._publish(lane, digest)
+            reply = lane.call(encode_command(OP_RUN, request))
+        if reply.get("status") != "ok":
+            raise WorkerCrashError(
+                f"remote batch failed on worker {lane.worker_id}: "
+                f"{reply.get('error', reply.get('status'))}"
+            )
+        points = [
+            _point_from_payload(entry) for entry in reply["points"]
+        ]
+        self._obs.counter("batches_dispatched").inc()
+        return points, reply.get("snapshot"), reply.get("cell_ms", [])
+
+    def _publish(self, lane: _WorkerLane, digest: str) -> None:
+        if digest in lane.published:
+            return
+        blob = self.blobs.get(digest)
+        if blob is None:
+            raise ExperimentError(
+                f"no archive registered for digest {digest[:12]}…"
+            )
+        reply = lane.call(encode_put(digest, blob))
+        if reply.get("status") != "ok":
+            raise WorkerCrashError(
+                f"trace publication failed on worker "
+                f"{lane.worker_id}: {reply}"
+            )
+        lane.published.add(digest)
+        self._obs.counter("traces_published").inc()
+        self._obs.counter("trace_bytes_published").inc(len(blob))
+
+    # -- health --------------------------------------------------------
+    def ping(self) -> list[dict]:
+        """Heartbeat every live worker; dead lanes are skipped."""
+        replies = []
+        for lane in self.lanes:
+            if not lane.alive:
+                continue
+            try:
+                replies.append(lane.call(encode_command(OP_PING)))
+            except WorkerCrashError:
+                continue
+        return replies
+
+    def register_trace(self, digest: str, blob: bytes) -> None:
+        self.blobs[digest] = blob
+
+    def close(self) -> None:
+        for lane in self.lanes:
+            lane.close()

@@ -1,0 +1,823 @@
+"""Cost-model-driven scheduling for the sweep engine.
+
+The executor historically made two static choices: *how* to run a sweep
+(serial below ``workers=1``, a process pool above) and *how big* the
+scheduling chunks are (:func:`~repro.experiments.engine.planner.
+autotune_chunk_size`, a pure cell-count heuristic).  Neither choice
+looks at what cells actually *cost*, so on a small machine the pool's
+spawn overhead routinely eats the parallel win and the BENCH trajectory
+records parallelism losing to serial.
+
+This module replaces both heuristics with measurement, in the spirit of
+the paper's thesis that observed behavior should drive the optimization
+decision:
+
+:class:`CostLedger`
+    A persistent record of per-cell wall-clock cost, keyed by the same
+    content-addressed cell keys the sweep cache uses (trace digest +
+    scheme + τ + code version), with a secondary (benchmark, scheme, τ)
+    name index so ledgers can be seeded from any prior run manifest —
+    including manifests predating per-cell timers, which seed nothing
+    (graceful fallback).  Measured costs are folded in with an EWMA so
+    one noisy run cannot wreck the model.
+
+:class:`CostModel`
+    Predicts one cell's cost: an exact ledger hit returns the measured
+    cost; a name hit (same coordinates, different trace content) the
+    manifest-seeded cost; otherwise a least-squares regression over the
+    ledger's entries for that scheme (features: trace flow and log τ),
+    degrading through scheme and global means down to a fixed default
+    when the ledger is empty.
+
+:class:`DispatchModel` / :func:`calibrate_dispatch`
+    What parallelism *costs* on this machine: process-pool spawn,
+    per-batch process dispatch, per-batch thread dispatch, and the
+    fraction of replay work that can overlap under the GIL.  The
+    defaults are conservative; :func:`calibrate_dispatch` measures the
+    real numbers once and persists them in the ledger.
+
+:func:`choose_backend`
+    Given predicted batch costs and the dispatch model, predicts the
+    wall clock of serial / thread-pool / process-pool execution (LPT
+    makespan for the pools) and picks the cheapest — on a 1-CPU box
+    this provably selects serial, which is exactly what the BENCH gate
+    demands there.
+
+:class:`StealingScheduler`
+    Replaces the executor's single FIFO queue: batches are LPT-assigned
+    to per-slot deques (longest predicted batch first, always to the
+    least-loaded slot) and an idle slot *steals* the smallest remaining
+    batch from the most-loaded victim.  Every decision is a pure
+    function of the predicted costs and an optional scripted steal
+    schedule, and the executor assembles results by canonical task
+    index — so any interleaving, stolen or not, yields byte-identical
+    output (a Hypothesis property locks this down).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import time
+from collections import deque
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import NamedTuple
+
+from repro.errors import ExperimentError
+from repro.experiments.engine.cache import atomic_write_text
+
+#: Prediction used when the ledger holds nothing at all.  Deliberately
+#: generous: with zero history the model should lean serial (spawning a
+#: pool on spec is the expensive mistake), and real measurements replace
+#: it after the first run.
+DEFAULT_CELL_MS = 25.0
+
+#: EWMA weight of the newest measurement when a ledger entry already
+#: exists.  0.5 converges fast while smoothing one-off scheduler noise.
+LEDGER_ALPHA = 0.5
+
+#: Ledger file format version (bumped on incompatible layout changes;
+#: unknown versions load as an empty ledger rather than failing a run).
+LEDGER_FORMAT = 1
+
+#: Name of the ledger file inside a sweep cache directory.
+LEDGER_FILENAME = "costs.json"
+
+#: Timer-name prefix the executor uses for per-cell manifest entries,
+#: relative to the engine registry (manifests show ``sweep.cell.*``).
+CELL_TIMER_PREFIX = "cell."
+
+#: The fully-qualified prefix as it appears in a written run manifest.
+MANIFEST_CELL_PREFIX = "sweep." + CELL_TIMER_PREFIX
+
+#: Histogram bucket upper bounds (milliseconds) for the ``cell_ms``
+#: distribution counters in run manifests.
+CELL_MS_BUCKETS = (1.0, 5.0, 25.0, 100.0, 500.0)
+
+BACKENDS = ("serial", "thread", "process", "remote", "adaptive")
+
+
+def cell_name(benchmark: str, scheme: str, delay: int) -> str:
+    """The ledger's human-readable cell coordinates."""
+    return f"{benchmark}:{scheme}:{delay}"
+
+
+def parse_cell_name(name: str) -> tuple[str, str, int] | None:
+    """Invert :func:`cell_name`; ``None`` for anything malformed."""
+    parts = name.rsplit(":", 2)
+    if len(parts) != 3:
+        return None
+    benchmark, scheme, delay_text = parts
+    try:
+        delay = int(delay_text)
+    except ValueError:
+        return None
+    if not benchmark or not scheme or delay < 0:
+        return None
+    return benchmark, scheme, delay
+
+
+@dataclass
+class CostRecord:
+    """One cell's remembered cost."""
+
+    ms: float
+    name: str
+    scheme: str
+    delay: int
+    #: Trace flow at measurement time; 0 when unknown (manifest-seeded
+    #: entries), in which case the record is excluded from the flow
+    #: regression but still feeds the scheme mean.
+    flow: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "ms": self.ms,
+            "name": self.name,
+            "scheme": self.scheme,
+            "delay": self.delay,
+            "flow": self.flow,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CostRecord":
+        return cls(
+            ms=float(payload["ms"]),
+            name=str(payload["name"]),
+            scheme=str(payload["scheme"]),
+            delay=int(payload["delay"]),
+            flow=int(payload.get("flow", 0)),
+        )
+
+
+class CostLedger:
+    """Persistent per-cell cost history.
+
+    Two indexes: ``by_key`` is exact — the same content-addressed key
+    the sweep cache uses, so a hit means *this precise cell* was
+    measured before.  ``by_name`` is positional — (benchmark, scheme,
+    τ) — and catches the common case of re-running the same grid on a
+    regenerated trace (new digest, same workload), as well as entries
+    seeded from prior run manifests, which never carry digests.
+
+    The ledger is advisory state: a missing, corrupt, or
+    version-skewed file loads as empty, and save failures are
+    swallowed — the sweep's correctness never depends on it.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.by_key: dict[str, CostRecord] = {}
+        self.by_name: dict[str, CostRecord] = {}
+        #: Measured dispatch overheads (see :class:`DispatchModel`);
+        #: empty until :func:`calibrate_dispatch` runs.
+        self.calibration: dict = {}
+        self._dirty = False
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CostLedger":
+        """Load a ledger, tolerating absence and corruption."""
+        ledger = cls(path)
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError):
+            return ledger
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != LEDGER_FORMAT
+        ):
+            return ledger
+        try:
+            for key, entry in payload.get("cells", {}).items():
+                record = CostRecord.from_payload(entry)
+                ledger.by_key[key] = record
+                ledger.by_name[record.name] = record
+            for name, entry in payload.get("named", {}).items():
+                if name not in ledger.by_name:
+                    ledger.by_name[name] = CostRecord.from_payload(entry)
+            calibration = payload.get("calibration", {})
+            if isinstance(calibration, dict):
+                ledger.calibration = calibration
+        except (KeyError, TypeError, ValueError):
+            return cls(path)
+        return ledger
+
+    @classmethod
+    def for_cache_dir(
+        cls, cache_dir: str | os.PathLike
+    ) -> "CostLedger":
+        """The ledger that lives alongside a sweep cache."""
+        return cls.load(pathlib.Path(cache_dir) / LEDGER_FILENAME)
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        key: str | None,
+        *,
+        benchmark: str,
+        scheme: str,
+        delay: int,
+        flow: int,
+        ms: float,
+    ) -> None:
+        """Fold one measured cell cost into the ledger."""
+        name = cell_name(benchmark, scheme, delay)
+        existing = self.by_key.get(key) if key is not None else None
+        if existing is None:
+            existing = self.by_name.get(name)
+        if existing is not None and existing.flow == flow:
+            ms = (1 - LEDGER_ALPHA) * existing.ms + LEDGER_ALPHA * ms
+        record = CostRecord(
+            ms=ms, name=name, scheme=scheme, delay=delay, flow=flow
+        )
+        if key is not None:
+            self.by_key[key] = record
+        self.by_name[name] = record
+        self._dirty = True
+
+    def seed_from_manifest(self, manifest: Mapping) -> int:
+        """Seed positional costs from a prior run manifest.
+
+        Reads the ``sweep.cell.<benchmark>:<scheme>:<τ>`` timers PR 10
+        manifests carry; manifests from before per-cell timing simply
+        have none of them and seed zero entries.  Returns how many
+        cells were seeded.  Seeded entries never overwrite measured
+        (digest-keyed) ones.
+        """
+        timers = manifest.get("timers")
+        if not isinstance(timers, Mapping):
+            return 0
+        seeded = 0
+        for timer_name, entry in timers.items():
+            if not timer_name.startswith(MANIFEST_CELL_PREFIX):
+                continue
+            coords = parse_cell_name(
+                timer_name[len(MANIFEST_CELL_PREFIX):]
+            )
+            if coords is None:
+                continue
+            try:
+                total = float(entry["total_seconds"])
+                count = int(entry["count"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if count < 1 or total < 0:
+                continue
+            benchmark, scheme, delay = coords
+            name = cell_name(benchmark, scheme, delay)
+            self.by_name.setdefault(
+                name,
+                CostRecord(
+                    ms=total / count * 1000.0,
+                    name=name,
+                    scheme=scheme,
+                    delay=delay,
+                ),
+            )
+            seeded += 1
+            self._dirty = True
+        return seeded
+
+    # -- lookup --------------------------------------------------------
+    def lookup(self, key: str) -> CostRecord | None:
+        return self.by_key.get(key)
+
+    def lookup_name(self, name: str) -> CostRecord | None:
+        return self.by_name.get(name)
+
+    def records(self) -> list[CostRecord]:
+        """Every distinct record (measured entries shadow seeded ones)."""
+        merged = dict(self.by_name)
+        for record in self.by_key.values():
+            merged[record.name] = record
+        return list(merged.values())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # -- persistence ---------------------------------------------------
+    def save(self) -> bool:
+        """Write the ledger if it changed; best-effort, never raises."""
+        if self.path is None or not self._dirty:
+            return False
+        named_only = {
+            name: record.to_payload()
+            for name, record in self.by_name.items()
+            if not any(
+                held.name == name for held in self.by_key.values()
+            )
+        }
+        payload = {
+            "format": LEDGER_FORMAT,
+            "cells": {
+                key: record.to_payload()
+                for key, record in self.by_key.items()
+            },
+            "named": named_only,
+            "calibration": self.calibration,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self.path, json.dumps(payload, indent=1))
+        except OSError:
+            return False
+        self._dirty = False
+        return True
+
+
+class PredictedCost(NamedTuple):
+    """One cell's predicted wall-clock cost and where it came from."""
+
+    ms: float
+    #: ``measured`` (exact ledger hit), ``manifest`` (positional hit),
+    #: ``regression`` (fit over the ledger) or ``default`` (no data).
+    source: str
+
+
+class CostModel:
+    """Predicts per-cell cost from a :class:`CostLedger`.
+
+    The regression is per scheme — schemes differ by orders of
+    magnitude in replay cost — over features (flow, log2(τ+2), 1),
+    refit lazily once per model instance.
+    """
+
+    #: Minimum ledger entries (with known flow) to attempt a fit.
+    MIN_FIT_SAMPLES = 3
+
+    def __init__(self, ledger: CostLedger | None = None):
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._fits: dict[str, tuple[float, float, float] | None] = {}
+        self._scheme_means: dict[str, float] | None = None
+
+    def predict(
+        self,
+        *,
+        benchmark: str,
+        scheme: str,
+        delay: int,
+        flow: int,
+        key: str | None = None,
+    ) -> PredictedCost:
+        ledger = self.ledger
+        if key is not None:
+            record = ledger.lookup(key)
+            if record is not None:
+                return PredictedCost(max(record.ms, 0.001), "measured")
+        record = ledger.lookup_name(cell_name(benchmark, scheme, delay))
+        if record is not None:
+            return PredictedCost(max(record.ms, 0.001), "manifest")
+        fitted = self._regress(scheme, delay, flow)
+        if fitted is not None:
+            return PredictedCost(max(fitted, 0.001), "regression")
+        return PredictedCost(DEFAULT_CELL_MS, "default")
+
+    # -- fitting -------------------------------------------------------
+    def _scheme_mean(self, scheme: str) -> float | None:
+        if self._scheme_means is None:
+            sums: dict[str, list[float]] = {}
+            for record in self.ledger.records():
+                sums.setdefault(record.scheme, []).append(record.ms)
+            self._scheme_means = {
+                name: sum(values) / len(values)
+                for name, values in sums.items()
+            }
+        mean = self._scheme_means.get(scheme)
+        if mean is not None:
+            return mean
+        if self._scheme_means:
+            pooled = list(self._scheme_means.values())
+            return sum(pooled) / len(pooled)
+        return None
+
+    def _fit(self, scheme: str) -> tuple[float, float, float] | None:
+        if scheme in self._fits:
+            return self._fits[scheme]
+        samples = [
+            record
+            for record in self.ledger.records()
+            if record.scheme == scheme and record.flow > 0
+        ]
+        coefficients: tuple[float, float, float] | None = None
+        if len(samples) >= self.MIN_FIT_SAMPLES:
+            import numpy as np
+
+            design = np.array(
+                [
+                    [record.flow, math.log2(record.delay + 2), 1.0]
+                    for record in samples
+                ]
+            )
+            target = np.array([record.ms for record in samples])
+            try:
+                solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+                coefficients = (
+                    float(solution[0]),
+                    float(solution[1]),
+                    float(solution[2]),
+                )
+            except np.linalg.LinAlgError:  # pragma: no cover - singular
+                coefficients = None
+        self._fits[scheme] = coefficients
+        return coefficients
+
+    def _regress(
+        self, scheme: str, delay: int, flow: int
+    ) -> float | None:
+        coefficients = self._fit(scheme)
+        if coefficients is not None and flow > 0:
+            a, b, c = coefficients
+            predicted = a * flow + b * math.log2(delay + 2) + c
+            if predicted > 0:
+                return predicted
+            # A degenerate fit (e.g. identical flows) can extrapolate
+            # below zero; fall through to the mean.
+        return self._scheme_mean(scheme)
+
+
+# ----------------------------------------------------------------------
+# Dispatch-overhead model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DispatchModel:
+    """What scheduling work onto a pool costs on this machine.
+
+    The defaults are deliberately pessimistic about processes (spawn is
+    real and the 1-CPU CI box must choose serial); calibration replaces
+    them with measurements.
+    """
+
+    #: One-time cost of spawning the process pool + data-plane install.
+    process_spawn_ms: float = 400.0
+    #: Per-batch submit/pickle/result cost on a process pool.
+    process_batch_ms: float = 2.0
+    #: Per-batch submit/result cost on a thread pool.
+    thread_batch_ms: float = 0.1
+    #: Fraction of replay work that overlaps under the GIL (numpy
+    #: releases it inside vectorized kernels; the rest serializes).
+    thread_parallel_fraction: float = 0.25
+    calibrated: bool = False
+
+    def to_payload(self) -> dict:
+        return {
+            "process_spawn_ms": self.process_spawn_ms,
+            "process_batch_ms": self.process_batch_ms,
+            "thread_batch_ms": self.thread_batch_ms,
+            "thread_parallel_fraction": self.thread_parallel_fraction,
+            "calibrated": self.calibrated,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "DispatchModel":
+        try:
+            return cls(
+                process_spawn_ms=float(payload["process_spawn_ms"]),
+                process_batch_ms=float(payload["process_batch_ms"]),
+                thread_batch_ms=float(payload["thread_batch_ms"]),
+                thread_parallel_fraction=float(
+                    payload["thread_parallel_fraction"]
+                ),
+                calibrated=bool(payload.get("calibrated", False)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return cls()
+
+    @classmethod
+    def from_ledger(cls, ledger: CostLedger | None) -> "DispatchModel":
+        if ledger is None or not ledger.calibration:
+            return cls()
+        return cls.from_payload(ledger.calibration)
+
+
+def _noop() -> None:
+    """Top-level so a calibration pool can pickle it."""
+
+
+def calibrate_dispatch(
+    workers: int = 2, ledger: CostLedger | None = None
+) -> DispatchModel:
+    """Measure real dispatch overheads; optionally persist them.
+
+    Spawns a tiny process pool and a thread pool, times the spawn and a
+    handful of no-op round-trips, and returns the measured model.  With
+    a ``ledger`` the result is stored in its calibration section so the
+    cost is paid once per cache directory, not once per run.
+    """
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+    workers = max(1, workers)
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool.submit(_noop).result()
+        spawn_ms = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        rounds = 8
+        for _ in range(rounds):
+            pool.submit(_noop).result()
+        process_batch_ms = (
+            (time.perf_counter() - start) * 1000.0 / rounds
+        )
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        pool.submit(_noop).result()
+        start = time.perf_counter()
+        rounds = 32
+        for _ in range(rounds):
+            pool.submit(_noop).result()
+        thread_batch_ms = (
+            (time.perf_counter() - start) * 1000.0 / rounds
+        )
+    model = replace(
+        DispatchModel(),
+        process_spawn_ms=max(spawn_ms, 1.0),
+        process_batch_ms=max(process_batch_ms, 0.01),
+        thread_batch_ms=max(thread_batch_ms, 0.001),
+        calibrated=True,
+    )
+    if ledger is not None:
+        ledger.calibration = model.to_payload()
+        ledger._dirty = True
+        ledger.save()
+    return model
+
+
+# ----------------------------------------------------------------------
+# Backend choice
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendDecision:
+    """The executor choice the cost model made, with its working."""
+
+    backend: str
+    workers: int
+    #: Candidate → predicted wall-clock milliseconds.
+    predicted_ms: dict
+    reason: str
+
+
+def predict_makespan(costs: Sequence[float], slots: int) -> float:
+    """LPT-greedy makespan of ``costs`` over ``slots`` workers."""
+    if slots < 1:
+        raise ExperimentError(f"makespan needs slots >= 1, got {slots}")
+    loads = [0.0] * slots
+    for cost in sorted(costs, reverse=True):
+        loads[loads.index(min(loads))] += cost
+    return max(loads)
+
+
+def choose_backend(
+    batch_costs: Sequence[float],
+    *,
+    workers_hint: int = 0,
+    cpu_count: int | None = None,
+    dispatch: DispatchModel | None = None,
+) -> BackendDecision:
+    """Pick serial / thread / process from predicted batch costs.
+
+    ``workers_hint`` caps the pool size (``0`` means "up to the CPU
+    count").  The prediction charges each pool its dispatch overhead
+    and its LPT makespan; serial is simply the cost sum.  Ties go to
+    the simpler backend (serial over thread over process).
+    """
+    dispatch = dispatch if dispatch is not None else DispatchModel()
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    cpus = max(1, cpus)
+    limit = workers_hint if workers_hint > 0 else cpus
+    slots = max(1, min(limit, cpus))
+    total = float(sum(batch_costs))
+    num_batches = len(batch_costs)
+
+    serial_ms = total
+    thread_fraction = dispatch.thread_parallel_fraction
+    thread_ms = (
+        num_batches * dispatch.thread_batch_ms
+        + total * (1.0 - thread_fraction)
+        + total * thread_fraction / slots
+    )
+    process_ms = (
+        dispatch.process_spawn_ms
+        + num_batches * dispatch.process_batch_ms
+        + predict_makespan(batch_costs, slots)
+    )
+    predicted = {
+        "serial": serial_ms,
+        "thread": thread_ms,
+        "process": process_ms,
+    }
+    order = ("serial", "thread", "process")
+    backend = min(order, key=lambda name: (predicted[name], order.index(name)))
+    workers = 0 if backend == "serial" else slots
+    reason = (
+        f"{backend} predicted {predicted[backend]:.1f}ms over "
+        f"{num_batches} batches on {cpus} cpus (serial "
+        f"{serial_ms:.1f}ms, thread {thread_ms:.1f}ms, process "
+        f"{process_ms:.1f}ms)"
+    )
+    return BackendDecision(
+        backend=backend,
+        workers=workers,
+        predicted_ms=predicted,
+        reason=reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# LPT assignment + deterministic work stealing
+# ----------------------------------------------------------------------
+class StealingScheduler:
+    """Per-slot batch deques with deterministic work stealing.
+
+    Construction performs the LPT assignment: batches sorted by
+    descending predicted cost (plan order breaking ties) are placed on
+    the least-loaded slot, so each slot's deque holds its batches
+    biggest-first.  :meth:`take` serves a slot its own front batch;
+    an empty slot steals the *smallest* remaining batch (the victim's
+    back) from the most-loaded victim.  Both rules are pure functions
+    of the predicted costs, so a run's schedule is replayable — and a
+    scripted ``steal_schedule`` can force any victim interleaving,
+    which is how the equivalence property test drives every path.
+
+    The scheduler never touches results: the executor assembles points
+    by canonical task index, so scheduling order is free to vary.
+    """
+
+    def __init__(
+        self,
+        items: Sequence,
+        costs: Sequence[float],
+        slots: int,
+        steal_schedule: Sequence[int] | None = None,
+        events: list | None = None,
+    ):
+        if slots < 1:
+            raise ExperimentError(
+                f"scheduler needs slots >= 1, got {slots}"
+            )
+        if len(items) != len(costs):
+            raise ExperimentError(
+                f"{len(items)} items but {len(costs)} costs"
+            )
+        self.slots = slots
+        self.queues: list[deque] = [deque() for _ in range(slots)]
+        self.loads = [0.0] * slots
+        self.cost_of: dict[int, float] = {}
+        self.home: dict[int, int] = {}
+        self.steal_schedule = (
+            list(steal_schedule) if steal_schedule is not None else None
+        )
+        self._steal_cursor = 0
+        self.steals = 0
+        self.events = events if events is not None else []
+        order = sorted(
+            range(len(items)), key=lambda i: (-costs[i], i)
+        )
+        for position in order:
+            slot = self.loads.index(min(self.loads))
+            item = items[position]
+            self.queues[slot].append(item)
+            self.loads[slot] += costs[position]
+            self.cost_of[id(item)] = float(costs[position])
+            self.home[id(item)] = slot
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self.queues)
+
+    def assignment(self) -> list[list]:
+        """Current per-slot contents (front first), for plan logging."""
+        return [list(queue) for queue in self.queues]
+
+    def drain(self) -> list:
+        """Remove and return every queued batch, in slot order.
+
+        The serial-fallback path takes over whatever the pool never
+        ran; draining empties the deques without counting steals so
+        the steal counter reflects only real rebalancing.
+        """
+        items: list = []
+        for queue in self.queues:
+            items.extend(queue)
+            queue.clear()
+        self.loads = [0.0] * self.slots
+        return items
+
+    def requeue(self, item, cost: float | None = None) -> None:
+        """Return a batch (retry, orphan) to the least-loaded slot."""
+        if cost is None:
+            cost = self.cost_of.get(id(item), DEFAULT_CELL_MS)
+        slot = self.loads.index(min(self.loads))
+        # Front of the deque: a returning batch runs before the slot's
+        # remaining backlog, matching the old FIFO requeue semantics.
+        self.queues[slot].appendleft(item)
+        self.loads[slot] += cost
+        self.cost_of[id(item)] = float(cost)
+
+    def _next_scripted(self, fallback: int, choices: int) -> int:
+        if self.steal_schedule is None or not self.steal_schedule:
+            return fallback
+        value = self.steal_schedule[
+            self._steal_cursor % len(self.steal_schedule)
+        ]
+        self._steal_cursor += 1
+        return value % choices
+
+    def take(self, slot: int):
+        """The next batch for ``slot``; ``None`` when nothing remains.
+
+        Serves the slot's own queue front; an empty slot steals from
+        the back of the most-loaded other queue (scripted schedules
+        override the victim choice).
+        """
+        if not 0 <= slot < self.slots:
+            raise ExperimentError(
+                f"slot {slot} outside 0..{self.slots - 1}"
+            )
+        queue = self.queues[slot]
+        if queue:
+            item = queue.popleft()
+            self.loads[slot] -= self.cost_of.get(id(item), 0.0)
+            return item
+        candidates = [
+            index
+            for index in range(self.slots)
+            if index != slot and self.queues[index]
+        ]
+        if not candidates:
+            return None
+        # Deterministic victim: most remaining predicted work, lowest
+        # index on ties — unless a scripted schedule dictates.
+        default = max(
+            candidates, key=lambda index: (self.loads[index], -index)
+        )
+        pick = self._next_scripted(
+            candidates.index(default), len(candidates)
+        )
+        victim = candidates[pick]
+        item = self.queues[victim].pop()
+        self.loads[victim] -= self.cost_of.get(id(item), 0.0)
+        self.steals += 1
+        self.events.append(
+            {
+                "event": "steal",
+                "slot": slot,
+                "victim": victim,
+                "batch": getattr(item, "order", None),
+            }
+        )
+        return item
+
+
+def explain_lines(plan_log: Sequence[dict]) -> list[str]:
+    """Render a sweep plan log as human-readable explain output.
+
+    The executor's ``plan_log`` is a list of structured events —
+    per-cell cost predictions, chunking decisions, the backend
+    decision, the initial slot assignment and any steals.  ``repro run
+    --explain`` (and the sweep equivalent) prints these lines so an
+    operator can see *why* the engine scheduled a sweep the way it
+    did.
+    """
+    lines: list[str] = []
+    for event in plan_log:
+        kind = event.get("event")
+        if kind == "predict":
+            lines.append(
+                f"predict {event['cell']}: {event['ms']:.3f} ms "
+                f"({event['source']})"
+            )
+        elif kind == "chunk":
+            lines.append(
+                f"chunk {event['benchmark']}: {event['pending_cells']} "
+                f"pending cells in chunks of {event['chunk_size']}"
+            )
+        elif kind == "decision":
+            predicted = ", ".join(
+                f"{name}={ms:.1f}ms"
+                for name, ms in event["predicted_ms"].items()
+            )
+            calibrated = (
+                "calibrated" if event.get("calibrated") else "default"
+            )
+            lines.append(
+                f"backend {event['backend']} (workers="
+                f"{event['workers']}; {predicted}; {calibrated} "
+                f"dispatch model): {event['reason']}"
+            )
+        elif kind == "assign":
+            for slot, orders in enumerate(event["slots"]):
+                lines.append(
+                    f"slot {slot}: batches "
+                    + (
+                        ", ".join(str(order) for order in orders)
+                        if orders
+                        else "(none)"
+                    )
+                )
+        elif kind == "steal":
+            lines.append(
+                f"steal: slot {event['slot']} took batch "
+                f"{event['batch']} from slot {event['victim']}"
+            )
+    return lines

@@ -37,6 +37,10 @@ def _run_target(
     cache: SweepCache | None,
     obs: Registry | None,
     resilience: RetryPolicy | None,
+    backend: str | None = None,
+    remote=None,
+    ledger=None,
+    plan_log: list | None = None,
 ) -> str:
     """Compute one target from scratch via its declaration."""
     if target.sweep:
@@ -50,6 +54,10 @@ def _run_target(
             chunk_size=chunk_size,
             obs=obs,
             resilience=resilience,
+            backend=backend,
+            remote=remote,
+            ledger=ledger,
+            plan_log=plan_log,
         )
         return target.render_points(points, DEFAULT_DELAYS)
     traces = (
@@ -79,11 +87,16 @@ def run_experiment(
     cache: SweepCache | None = None,
     obs: Registry | None = None,
     resilience: RetryPolicy | None = None,
+    backend: str | None = None,
+    remote=None,
+    ledger=None,
+    plan_log: list | None = None,
 ) -> str:
     """Regenerate one experiment and return its text rendering.
 
-    ``workers``, ``chunk_size``, ``cache``, ``obs`` and ``resilience``
-    reach the sweep engine for the experiments in
+    ``workers``, ``chunk_size``, ``cache``, ``obs``, ``resilience`` and
+    the scheduler knobs (``backend``, ``remote``, ``ledger``,
+    ``plan_log``) reach the sweep engine for the experiments in
     :data:`SWEEP_EXPERIMENTS`; the others ignore them.
     """
     try:
@@ -94,5 +107,15 @@ def run_experiment(
             f"unknown experiment {name!r}; known: {known}"
         ) from None
     return _run_target(
-        target, flow_scale, workers, chunk_size, cache, obs, resilience
+        target,
+        flow_scale,
+        workers,
+        chunk_size,
+        cache,
+        obs,
+        resilience,
+        backend=backend,
+        remote=remote,
+        ledger=ledger,
+        plan_log=plan_log,
     )

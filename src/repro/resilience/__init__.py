@@ -8,7 +8,8 @@ policy and mechanism stay testable on their own:
   jitter, pool-restart budget and serial fallback.
 * :mod:`repro.resilience.faults` — :class:`FaultPlan`/:class:`FaultSpec`:
   deterministic injection of crashes, hangs, corrupt results, pool
-  deaths and interrupts, keyed by (batch, attempt).
+  deaths, lost remote workers and interrupts, keyed by (batch,
+  attempt).
 * :mod:`repro.resilience.signals` — :func:`interrupt_guard`: cooperative
   SIGINT/SIGTERM shutdown.
 
@@ -26,6 +27,7 @@ from repro.resilience.faults import (
     crash_on,
     hang_on,
     interrupt_on,
+    lose_worker_on,
     plan,
 )
 from repro.resilience.policy import DEFAULT_POLICY, RetryPolicy
@@ -45,5 +47,6 @@ __all__ = [
     "hang_on",
     "interrupt_guard",
     "interrupt_on",
+    "lose_worker_on",
     "plan",
 ]

@@ -30,6 +30,15 @@ Fault kinds
     deterministic stand-in for the operator's Ctrl-C mid-sweep.  Only
     meaningful for in-process (serial) execution, where the current
     process is the one running the sweep.
+``lost_worker``
+    A remote sweep worker vanishes (container killed, network
+    partition) while holding the batch.  Fired *parent-side* by the
+    remote backend's dispatch path — the worker's connection is
+    severed and the batch fails with the same
+    :class:`~repro.errors.WorkerCrashError` a real loss produces, so
+    the requeue-onto-survivors machinery is exercised end to end.  The
+    generic :meth:`FaultPlan.before` hook ignores this kind; consumers
+    ask for it explicitly via :meth:`FaultPlan.fires_kind`.
 
 Every decision is a pure function of ``(batch_index, attempt)``, so a
 faulted run is as reproducible as a healthy one.
@@ -46,7 +55,14 @@ from dataclasses import dataclass
 from repro.errors import ExperimentError
 
 #: The misbehaviors a :class:`FaultSpec` can inject.
-FAULT_KINDS = ("crash", "hang", "corrupt", "pool_break", "interrupt")
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "corrupt",
+    "pool_break",
+    "interrupt",
+    "lost_worker",
+)
 
 
 class InjectedFault(RuntimeError):
@@ -122,6 +138,20 @@ class FaultPlan:
             if spec.kind == "interrupt":
                 os.kill(os.getpid(), signal.SIGINT)
 
+    def fires_kind(
+        self, kind: str, batch_index: int, attempt: int
+    ) -> bool:
+        """Whether any spec of ``kind`` fires for one (batch, attempt).
+
+        The hook for faults that fire outside the shared replay path —
+        the remote backend consults ``fires_kind("lost_worker", ...)``
+        in its dispatch lane, where a real worker loss would surface.
+        """
+        return any(
+            spec.kind == kind and spec.fires(batch_index, attempt)
+            for spec in self.specs
+        )
+
     def corrupts(self, batch_index: int, attempt: int) -> bool:
         """Whether a ``corrupt`` fault fires for this attempt."""
         return any(
@@ -161,6 +191,11 @@ def break_pool_on(batch: int, times: int | None = 1) -> FaultSpec:
 def interrupt_on(batch: int) -> FaultSpec:
     """A batch that delivers SIGINT to the sweep, as Ctrl-C would."""
     return FaultSpec(kind="interrupt", batch=batch, times=1)
+
+
+def lose_worker_on(batch: int, times: int | None = 1) -> FaultSpec:
+    """A remote worker that vanishes while holding this batch."""
+    return FaultSpec(kind="lost_worker", batch=batch, times=times)
 
 
 def plan(*specs: FaultSpec) -> FaultPlan:

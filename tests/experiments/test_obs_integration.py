@@ -42,15 +42,22 @@ def test_worker_metrics_merge_to_serial_totals(all_small_traces):
         traces, delays=DELAYS, workers=2, obs=parallel
     )
     # Scheduling and transport accounting differs by mode (batch count,
-    # data-plane publishes, per-worker context installs); the *work*
+    # data-plane publishes, per-worker context installs, which backend
+    # ran, steal counts, wall-clock histogram buckets); the *work*
     # counters — replays, predictions, captured flow — must not.
     def work_counters(registry: Registry) -> dict:
-        transport = ("sweep.batches", "sweep.contexts_installed")
+        transport = (
+            "sweep.batches",
+            "sweep.contexts_installed",
+            "sweep.steals",
+        )
         return {
             name: value
             for name, value in registry.snapshot()["counters"].items()
             if name not in transport
             and not name.startswith("sweep.dataplane.")
+            and not name.startswith("sweep.backend_")
+            and not name.startswith("sweep.cell_ms_le_")
         }
 
     assert work_counters(parallel) == work_counters(serial)

@@ -1,0 +1,519 @@
+"""Cost-model scheduler suite: ledger, predictions, backend choice.
+
+Locks down the PR 10 scheduling layer: the cost ledger round-trips and
+seeds from run manifests (gracefully ignoring pre-timer manifests);
+the cost model degrades measured → seeded → regression → default; the
+dispatch model provably selects serial on one CPU; LPT assignment and
+stealing are deterministic; and a warm ledger changes the *logged
+plan* of a sweep — predictions flip from default to measured — while
+never changing its bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import run_sweep
+from repro.experiments.engine import (
+    BACKENDS,
+    DEFAULT_CELL_MS,
+    LEDGER_FILENAME,
+    CostLedger,
+    CostModel,
+    DispatchModel,
+    StealingScheduler,
+    SweepCache,
+    cell_name,
+    choose_backend,
+    explain_lines,
+    predict_makespan,
+)
+from repro.experiments.engine.planner import (
+    AUTOTUNE_MAX_CHUNK,
+    autotune_chunk_size,
+)
+from repro.experiments.engine.scheduler import (
+    LEDGER_ALPHA,
+    MANIFEST_CELL_PREFIX,
+    parse_cell_name,
+)
+from repro.obs import Registry
+
+DELAYS = (10, 1_000)
+
+
+@pytest.fixture(scope="module")
+def duo(all_small_traces):
+    return {
+        name: all_small_traces[name] for name in ("compress", "go")
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(duo):
+    return run_sweep(duo, delays=DELAYS)
+
+
+# ---------------------------------------------------------------------
+# cell names
+# ---------------------------------------------------------------------
+
+
+def test_cell_name_round_trip():
+    assert parse_cell_name(cell_name("go", "net", 50)) == ("go", "net", 50)
+
+
+def test_cell_name_survives_colons_in_benchmark():
+    name = cell_name("odd:bench", "net", 10)
+    assert parse_cell_name(name) == ("odd:bench", "net", 10)
+
+
+def test_parse_cell_name_rejects_garbage():
+    assert parse_cell_name("not-a-cell") is None
+    assert parse_cell_name("a:b:notanint") is None
+
+
+# ---------------------------------------------------------------------
+# ledger
+# ---------------------------------------------------------------------
+
+
+def test_ledger_record_and_save_round_trip(tmp_path):
+    path = tmp_path / LEDGER_FILENAME
+    ledger = CostLedger(path)
+    ledger.record(
+        "key1", benchmark="go", scheme="net", delay=10, flow=500, ms=12.5
+    )
+    assert ledger.save()
+    loaded = CostLedger.load(path)
+    record = loaded.lookup("key1")
+    assert record is not None
+    assert record.ms == pytest.approx(12.5)
+    assert record.flow == 500
+    assert loaded.lookup_name(cell_name("go", "net", 10)) is not None
+
+
+def test_ledger_ewma_blends_repeat_measurements(tmp_path):
+    ledger = CostLedger(tmp_path / LEDGER_FILENAME)
+    ledger.record(
+        "k", benchmark="go", scheme="net", delay=10, flow=500, ms=10.0
+    )
+    ledger.record(
+        "k", benchmark="go", scheme="net", delay=10, flow=500, ms=20.0
+    )
+    expected = (1 - LEDGER_ALPHA) * 10.0 + LEDGER_ALPHA * 20.0
+    assert ledger.lookup("k").ms == pytest.approx(expected)
+
+
+def test_ledger_flow_change_replaces_instead_of_blending(tmp_path):
+    """A rescaled trace is a different workload — no EWMA across it."""
+    ledger = CostLedger(tmp_path / LEDGER_FILENAME)
+    ledger.record(
+        "k1", benchmark="go", scheme="net", delay=10, flow=500, ms=10.0
+    )
+    ledger.record(
+        "k2", benchmark="go", scheme="net", delay=10, flow=5000, ms=90.0
+    )
+    assert ledger.lookup("k2").ms == pytest.approx(90.0)
+
+
+def test_ledger_loads_empty_on_missing_corrupt_and_skewed(tmp_path):
+    assert len(CostLedger.load(tmp_path / "absent.json")) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert len(CostLedger.load(bad)) == 0
+    skewed = tmp_path / "skewed.json"
+    skewed.write_text(json.dumps({"format": 999, "cells": {}}))
+    assert len(CostLedger.load(skewed)) == 0
+
+
+def test_ledger_seeds_from_manifest_timers():
+    ledger = CostLedger()
+    manifest = {
+        "timers": {
+            MANIFEST_CELL_PREFIX + "go:net:10": {
+                "total_seconds": 0.05,
+                "count": 2,
+            },
+            "sweep.cell_ms": {"total_seconds": 1.0, "count": 4},
+        }
+    }
+    assert ledger.seed_from_manifest(manifest) == 1
+    record = ledger.lookup_name(cell_name("go", "net", 10))
+    assert record.ms == pytest.approx(25.0)
+
+
+def test_ledger_seed_graceful_on_pre_timer_manifest():
+    """Manifests from before per-cell timing seed nothing, loudlessly."""
+    ledger = CostLedger()
+    old_manifest = {
+        "timers": {"sweep.replay": {"total_seconds": 2.0, "count": 8}},
+        "counters": {"sweep.batches": 4},
+    }
+    assert ledger.seed_from_manifest(old_manifest) == 0
+    assert ledger.seed_from_manifest({}) == 0
+    assert ledger.seed_from_manifest({"timers": None}) == 0
+
+
+def test_ledger_seed_never_overwrites_measured():
+    ledger = CostLedger()
+    ledger.record(
+        "k", benchmark="go", scheme="net", delay=10, flow=500, ms=3.0
+    )
+    manifest = {
+        "timers": {
+            MANIFEST_CELL_PREFIX + "go:net:10": {
+                "total_seconds": 9.0,
+                "count": 1,
+            }
+        }
+    }
+    ledger.seed_from_manifest(manifest)
+    assert ledger.lookup_name(cell_name("go", "net", 10)).ms == (
+        pytest.approx(3.0)
+    )
+
+
+# ---------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------
+
+
+def test_cost_model_prefers_measured_key():
+    ledger = CostLedger()
+    ledger.record(
+        "k", benchmark="go", scheme="net", delay=10, flow=500, ms=7.0
+    )
+    model = CostModel(ledger)
+    predicted = model.predict(
+        benchmark="go", scheme="net", delay=10, flow=500, key="k"
+    )
+    assert predicted.ms == pytest.approx(7.0)
+    assert predicted.source == "measured"
+
+
+def test_cost_model_falls_back_to_manifest_seed():
+    ledger = CostLedger()
+    ledger.seed_from_manifest(
+        {
+            "timers": {
+                MANIFEST_CELL_PREFIX + "go:net:10": {
+                    "total_seconds": 0.004,
+                    "count": 1,
+                }
+            }
+        }
+    )
+    model = CostModel(ledger)
+    predicted = model.predict(
+        benchmark="go", scheme="net", delay=10, flow=500, key="unknown"
+    )
+    assert predicted.source == "manifest"
+    assert predicted.ms == pytest.approx(4.0)
+
+
+def test_cost_model_regression_extrapolates_with_flow():
+    """With enough samples the per-scheme fit scales with trace size."""
+    ledger = CostLedger()
+    for index, flow in enumerate((1_000, 2_000, 4_000, 8_000)):
+        ledger.record(
+            f"k{index}",
+            benchmark=f"b{index}",
+            scheme="net",
+            delay=10,
+            flow=flow,
+            ms=flow / 100.0,
+        )
+    model = CostModel(ledger)
+    predicted = model.predict(
+        benchmark="new", scheme="net", delay=10, flow=16_000
+    )
+    assert predicted.source == "regression"
+    assert predicted.ms == pytest.approx(160.0, rel=0.15)
+
+
+def test_cost_model_default_when_ledger_empty():
+    model = CostModel(CostLedger())
+    predicted = model.predict(
+        benchmark="x", scheme="net", delay=10, flow=100
+    )
+    assert predicted.source == "default"
+    assert predicted.ms == DEFAULT_CELL_MS
+
+
+# ---------------------------------------------------------------------
+# dispatch model / backend choice
+# ---------------------------------------------------------------------
+
+
+def test_choose_backend_selects_serial_on_one_cpu():
+    """The acceptance gate's 1-CPU case: serial must win outright."""
+    decision = choose_backend(
+        [25.0, 25.0, 25.0, 25.0], workers_hint=4, cpu_count=1
+    )
+    assert decision.backend == "serial"
+    assert decision.workers == 0
+    assert decision.predicted_ms["serial"] <= min(
+        decision.predicted_ms["thread"], decision.predicted_ms["process"]
+    )
+
+
+def test_choose_backend_prefers_pool_for_heavy_parallel_work():
+    """Huge batches on many CPUs: spawn cost amortizes, a pool wins."""
+    dispatch = DispatchModel(
+        process_spawn_ms=50.0,
+        process_batch_ms=1.0,
+        thread_batch_ms=0.1,
+        thread_parallel_fraction=0.9,
+        calibrated=True,
+    )
+    decision = choose_backend(
+        [10_000.0] * 8, workers_hint=8, cpu_count=8, dispatch=dispatch
+    )
+    assert decision.backend != "serial"
+    assert decision.workers > 0
+
+
+def test_choose_backend_empty_batches_is_serial():
+    decision = choose_backend([], workers_hint=4, cpu_count=8)
+    assert decision.backend == "serial"
+
+
+def test_predict_makespan_is_lpt():
+    # 5+3 on one slot vs 4+2+1 on the other beats any naive split.
+    assert predict_makespan([5.0, 4.0, 3.0, 2.0, 1.0], 2) == 8.0
+    assert predict_makespan([], 4) == 0.0
+    assert predict_makespan([7.0], 1) == 7.0
+
+
+def test_dispatch_model_round_trips_through_ledger(tmp_path):
+    ledger = CostLedger(tmp_path / LEDGER_FILENAME)
+    model = DispatchModel(
+        process_spawn_ms=123.0,
+        process_batch_ms=4.5,
+        thread_batch_ms=0.25,
+        thread_parallel_fraction=0.5,
+        calibrated=True,
+    )
+    ledger.calibration = model.to_payload()
+    ledger._dirty = True
+    assert ledger.save()
+    restored = DispatchModel.from_ledger(CostLedger.load(ledger.path))
+    assert restored == model
+
+
+# ---------------------------------------------------------------------
+# stealing scheduler
+# ---------------------------------------------------------------------
+
+
+def test_lpt_assignment_balances_predicted_load():
+    items = list(range(6))
+    costs = [6.0, 5.0, 4.0, 3.0, 2.0, 1.0]
+    scheduler = StealingScheduler(items, costs, slots=2)
+    assignment = scheduler.assignment()
+    loads = [
+        sum(costs[item] for item in queue) for queue in assignment
+    ]
+    assert abs(loads[0] - loads[1]) <= 1.0
+    assert sorted(sum(assignment, [])) == items
+
+
+def test_take_serves_own_queue_then_steals():
+    scheduler = StealingScheduler(
+        ["a", "b"], [10.0, 1.0], slots=2, events=(events := [])
+    )
+    # LPT: "a" lands on slot 0, "b" on slot 1.
+    assert scheduler.take(1) == "b"
+    assert scheduler.take(1) == "a"  # stolen from slot 0
+    assert scheduler.steals == 1
+    assert events and events[-1]["event"] == "steal"
+    assert scheduler.take(0) is None
+
+
+def test_scripted_steal_schedule_controls_victim():
+    items = ["a", "b", "c", "d"]
+    costs = [4.0, 3.0, 2.0, 1.0]
+    default = StealingScheduler(items, costs, slots=4)
+    scripted = StealingScheduler(
+        items, costs, slots=4, steal_schedule=[2]
+    )
+    # Slot 0 holds "a"; draining it leaves slots 1..3 as victims.
+    default.take(0)
+    scripted.take(0)
+    assert default.take(0) != scripted.take(0)
+
+
+def test_drain_returns_everything_and_empties():
+    scheduler = StealingScheduler(
+        ["a", "b", "c"], [3.0, 2.0, 1.0], slots=2
+    )
+    scheduler.take(0)
+    drained = scheduler.drain()
+    assert len(drained) == 2
+    assert len(scheduler) == 0
+    assert scheduler.drain() == []
+
+
+def test_requeue_lands_on_least_loaded_front():
+    scheduler = StealingScheduler(
+        ["a", "b"], [5.0, 1.0], slots=2
+    )
+    taken = scheduler.take(1)
+    scheduler.requeue(taken)
+    assert scheduler.take(1) == taken
+
+
+def test_scheduler_rejects_mismatched_costs():
+    with pytest.raises(ExperimentError):
+        StealingScheduler(["a"], [1.0, 2.0], slots=1)
+    with pytest.raises(ExperimentError):
+        StealingScheduler([], [], slots=0)
+
+
+# ---------------------------------------------------------------------
+# run_sweep integration
+# ---------------------------------------------------------------------
+
+
+def test_run_sweep_records_ledger_and_cell_timers(duo, baseline, tmp_path):
+    registry = Registry()
+    ledger = CostLedger(tmp_path / LEDGER_FILENAME)
+    points = run_sweep(
+        duo, delays=DELAYS, obs=registry, ledger=ledger
+    )
+    assert points == baseline
+    assert len(ledger) == len(baseline)
+    assert (tmp_path / LEDGER_FILENAME).exists()
+    snapshot = registry.snapshot()
+    cell_timers = [
+        name
+        for name in snapshot["timers"]
+        if name.startswith(MANIFEST_CELL_PREFIX)
+    ]
+    assert len(cell_timers) == len(baseline)
+    assert snapshot["timers"]["sweep.cell_ms"]["count"] == len(baseline)
+    buckets = [
+        name
+        for name in snapshot["counters"]
+        if name.startswith("sweep.cell_ms_le_")
+    ]
+    assert buckets, "cell_ms histogram buckets missing from manifest"
+
+
+def test_ledger_seeds_round_trip_through_real_manifest(duo, tmp_path):
+    """A run's own snapshot seeds a fresh ledger (manifest replay)."""
+    registry = Registry()
+    run_sweep(duo, delays=DELAYS, obs=registry)
+    seeded = CostLedger()
+    assert seeded.seed_from_manifest(registry.snapshot()) == 4 * 2
+    model = CostModel(seeded)
+    predicted = model.predict(
+        benchmark="compress", scheme="net", delay=10, flow=0
+    )
+    assert predicted.source == "manifest"
+
+
+def test_warm_ledger_changes_logged_plan_not_bytes(duo, baseline, tmp_path):
+    """The acceptance criterion: cold plans from defaults, warm plans
+    from measurements — different logged plan, identical output."""
+    ledger_path = tmp_path / LEDGER_FILENAME
+    cold_log: list = []
+    cold = run_sweep(
+        duo,
+        delays=DELAYS,
+        backend="adaptive",
+        ledger=CostLedger(ledger_path),
+        plan_log=cold_log,
+    )
+    warm_log: list = []
+    warm = run_sweep(
+        duo,
+        delays=DELAYS,
+        backend="adaptive",
+        ledger=CostLedger.load(ledger_path),
+        plan_log=warm_log,
+    )
+    assert cold == baseline and warm == baseline
+    cold_sources = {
+        e["source"] for e in cold_log if e["event"] == "predict"
+    }
+    warm_sources = {
+        e["source"] for e in warm_log if e["event"] == "predict"
+    }
+    assert cold_sources == {"default"}
+    assert warm_sources == {"measured"}
+    assert cold_log != warm_log
+    # The predictions also flow into the decision event both times.
+    assert any(e["event"] == "decision" for e in cold_log)
+    assert any(e["event"] == "decision" for e in warm_log)
+
+
+def test_adaptive_backend_byte_identical_all_modes(duo, baseline):
+    for backend in ("serial", "thread", "adaptive"):
+        assert run_sweep(
+            duo, delays=DELAYS, backend=backend, workers=2
+        ) == baseline
+
+
+def test_run_sweep_rejects_unknown_backend(duo):
+    with pytest.raises(ExperimentError):
+        run_sweep(duo, delays=DELAYS, backend="quantum")
+    with pytest.raises(ExperimentError):
+        run_sweep(duo, delays=DELAYS, backend="remote")  # no workers
+
+
+def test_autotune_sizes_on_dirty_cells_only(duo, baseline, tmp_path):
+    """Regression: a warm cache must shrink the chunks to the pending
+    set, not size them on the full plan."""
+    cache = SweepCache(tmp_path / "cache")
+    full_delays = tuple(range(1, 1 + 2 * AUTOTUNE_MAX_CHUNK))
+    run_sweep(
+        {"compress": duo["compress"]}, delays=full_delays, cache=cache
+    )
+    # Warm the cache, then dirty exactly three cells via new delays.
+    log: list = []
+    run_sweep(
+        {"compress": duo["compress"]},
+        delays=full_delays + (9_001, 9_002, 9_003),
+        cache=SweepCache(tmp_path / "cache"),
+        workers=2,
+        backend="thread",
+        plan_log=log,
+    )
+    chunk_events = [e for e in log if e["event"] == "chunk"]
+    assert len(chunk_events) == 1
+    assert chunk_events[0]["pending_cells"] == 2 * 3  # 2 schemes
+    assert chunk_events[0]["chunk_size"] == autotune_chunk_size(6, 2)
+    assert chunk_events[0]["chunk_size"] < AUTOTUNE_MAX_CHUNK
+
+
+def test_explain_lines_renders_every_event_kind():
+    log = [
+        {"event": "predict", "cell": "go:net:10", "ms": 5.0,
+         "source": "measured"},
+        {"event": "chunk", "benchmark": "go", "pending_cells": 4,
+         "chunk_size": 2},
+        {"event": "decision", "backend": "serial", "workers": 0,
+         "predicted_ms": {"serial": 20.0, "thread": 25.0,
+                          "process": 420.0},
+         "calibrated": False, "reason": "serial wins"},
+        {"event": "assign", "slots": [[0, 2], []]},
+        {"event": "steal", "slot": 1, "victim": 0, "batch": 2},
+    ]
+    lines = explain_lines(log)
+    assert len(lines) == 6  # assign renders one line per slot
+    joined = "\n".join(lines)
+    assert "go:net:10" in joined
+    assert "backend serial" in joined
+    assert "steal" in joined
+    assert "(none)" in joined
+
+
+def test_backends_constant_is_stable():
+    assert BACKENDS == (
+        "serial", "thread", "process", "remote", "adaptive"
+    )

@@ -1,0 +1,124 @@
+"""Property-based tests: work stealing never changes the bytes.
+
+The stealing scheduler's whole correctness argument is that scheduling
+order is *free*: the executor assembles points by canonical task index
+and the cache addresses cells by content, so any interleaving — any
+victim choice on any steal — must produce output and cache contents
+byte-identical to the serial sweep.  Hypothesis drives arbitrary
+scripted steal schedules through the thread backend to exercise
+interleavings the deterministic default would never take.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.data import benchmark_traces
+from repro.experiments.engine import StealingScheduler, SweepCache
+from repro.experiments.engine.executor import run_sweep
+
+DELAYS = (10, 1_000)
+
+_TRACES = None
+_BASELINE = None
+
+
+def _fixtures():
+    """Session-cached traces + serial baseline (Hypothesis re-enters
+    the test body many times; the workload must be generated once)."""
+    global _TRACES, _BASELINE
+    if _TRACES is None:
+        _TRACES = benchmark_traces(["compress", "go"], flow_scale=0.02)
+        _BASELINE = run_sweep(_TRACES, delays=DELAYS)
+    return _TRACES, _BASELINE
+
+
+def _cache_fingerprint(root: Path) -> dict[str, str]:
+    """Relative path → sha256 of every file under a cache directory."""
+    return {
+        str(path.relative_to(root)): hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    schedule=st.lists(
+        st.integers(min_value=0, max_value=7), min_size=0, max_size=12
+    ),
+    slots=st.integers(min_value=2, max_value=4),
+)
+def test_any_steal_schedule_is_byte_identical(schedule, slots):
+    traces, baseline = _fixtures()
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_dir = Path(tmp) / "serial"
+        stolen_dir = Path(tmp) / "stolen"
+        serial_points = run_sweep(
+            traces, delays=DELAYS, cache=SweepCache(serial_dir)
+        )
+        log: list = []
+        stolen_points = run_sweep(
+            traces,
+            delays=DELAYS,
+            backend="thread",
+            workers=slots,
+            cache=SweepCache(stolen_dir),
+            steal_schedule=schedule,
+            plan_log=log,
+        )
+        assert stolen_points == serial_points == baseline
+        assert _cache_fingerprint(stolen_dir) == _cache_fingerprint(
+            serial_dir
+        )
+
+
+def test_process_backend_with_scripted_steals_byte_identical():
+    """One process-pool case: the steal path is backend-agnostic, but
+    the pickled-dispatch leg deserves a direct check."""
+    traces, baseline = _fixtures()
+    log: list = []
+    points = run_sweep(
+        traces,
+        delays=DELAYS,
+        backend="process",
+        workers=2,
+        steal_schedule=[1, 0, 1, 0],
+        plan_log=log,
+    )
+    assert points == baseline
+
+
+def test_scheduler_state_is_schedule_deterministic():
+    """Same items, costs and script → identical take/steal sequence."""
+    items = list(range(8))
+    costs = [float(8 - index) for index in range(8)]
+
+    def run_once():
+        events: list = []
+        scheduler = StealingScheduler(
+            items, costs, slots=3, steal_schedule=[1, 0, 2], events=events
+        )
+        taken = []
+        slot = 0
+        while True:
+            item = scheduler.take(slot % 3)
+            if item is None and len(scheduler) == 0:
+                break
+            if item is not None:
+                taken.append((slot % 3, item))
+            slot += 1
+        return taken, events
+
+    assert run_once() == run_once()

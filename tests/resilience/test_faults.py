@@ -15,6 +15,7 @@ from repro.resilience import (
     break_pool_on,
     corrupt_on,
     crash_on,
+    lose_worker_on,
     plan,
 )
 
@@ -74,3 +75,23 @@ def test_plan_is_picklable_for_pool_workers():
 def test_invalid_specs_rejected(kwargs):
     with pytest.raises(ExperimentError):
         FaultSpec(**kwargs)
+
+
+def test_lost_worker_is_invisible_to_before_hook():
+    """The generic pre-compute hook must ignore parent-side kinds."""
+    scheme = plan(lose_worker_on(batch=1))
+    scheme.before(1, 0)  # no exception, no sleep, no signal
+
+
+def test_fires_kind_matches_planned_loss_only():
+    scheme = plan(lose_worker_on(batch=1, times=2))
+    assert scheme.fires_kind("lost_worker", 1, 0)
+    assert scheme.fires_kind("lost_worker", 1, 1)
+    assert not scheme.fires_kind("lost_worker", 1, 2)
+    assert not scheme.fires_kind("lost_worker", 0, 0)
+    assert not scheme.fires_kind("crash", 1, 0)
+
+
+def test_lost_worker_plan_is_picklable():
+    scheme = plan(lose_worker_on(batch=0, times=None))
+    assert pickle.loads(pickle.dumps(scheme)) == scheme
